@@ -1,0 +1,107 @@
+// bench_barriers — Experiment E19 (beyond the paper: its stated future
+// work, Sec. 4 closing paragraph).
+//
+// Broadcast on a grid split by a vertical wall with a gap of width w.
+// Expectation from the paper's machinery: the gap bottlenecks the meeting
+// process, so T_B grows as w shrinks; w = 0 partitions the domain and the
+// rumor can never leave the source's side (the run times out with roughly
+// half the agents informed). The open-domain run (no wall) is the control
+// matching E1.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "grid/obstacle_grid.hpp"
+#include "models/barrier.hpp"
+#include "sim/runner.hpp"
+
+int main(int argc, char** argv) {
+    using namespace smn;
+    sim::Args args{argc, argv};
+    const auto side = static_cast<grid::Coord>(args.get_int("side", args.quick() ? 32 : 48));
+    const auto k = static_cast<std::int32_t>(args.get_int("k", args.quick() ? 16 : 32));
+    const int reps = static_cast<int>(args.get_int("reps", args.quick() ? 6 : 20));
+    const auto base_seed = static_cast<std::uint64_t>(args.get_int("seed", 20110619));
+    args.reject_unknown();
+
+    bench::print_header("E19", "broadcast across mobility barriers (beyond the paper)",
+                        "Sec. 4: 'planar domains that include ... mobility barriers' — "
+                        "gap width bottlenecks the meeting process");
+    std::cout << "side = " << side << ", k = " << k << ", wall at x = " << side / 2
+              << ", reps = " << reps << "\n\n";
+
+    const std::int64_t cap = 1 << 22;
+    stats::Table table{{"gap width", "completed", "mean T_B", "stderr",
+                        "mean informed at end", "vs open domain"}};
+    double open_tb = 0.0;
+    double widest_gap_tb = -1.0;
+    double narrowest_gap_tb = -1.0;
+    int sealed_completed = -1;
+    double sealed_informed = -1.0;
+    std::vector<std::int64_t> gaps{side, 16, 8, 4, 2, 1, 0};  // side == no wall
+    for (const auto gap : gaps) {
+        std::vector<double> tbs(static_cast<std::size_t>(reps));
+        std::vector<double> informed(static_cast<std::size_t>(reps));
+        std::vector<double> done(static_cast<std::size_t>(reps));
+        (void)sim::run_replications(
+            reps, base_seed + static_cast<std::uint64_t>(gap * 17 + 3),
+            [&](int rep, std::uint64_t seed) {
+                const auto gap_lo = static_cast<grid::Coord>((side - gap) / 2);
+                const auto gap_hi = static_cast<grid::Coord>(gap_lo + gap);
+                const auto domain =
+                    gap >= side
+                        ? grid::ObstacleGrid::square(side)
+                        : grid::ObstacleGrid::with_vertical_wall(side, side / 2, gap_lo,
+                                                                 gap_hi);
+                models::BarrierConfig cfg;
+                cfg.side = side;
+                cfg.k = k;
+                cfg.seed = seed;
+                const auto result = models::run_barrier_broadcast(
+                    domain, cfg, gap == 0 ? (1 << 16) : cap);
+                tbs[static_cast<std::size_t>(rep)] =
+                    static_cast<double>(result.broadcast_time);
+                informed[static_cast<std::size_t>(rep)] =
+                    static_cast<double>(result.informed_count);
+                done[static_cast<std::size_t>(rep)] = result.completed ? 1.0 : 0.0;
+                return 0.0;
+            });
+        stats::RunningStats tb_stats;
+        stats::RunningStats informed_stats;
+        int completed = 0;
+        for (int rep = 0; rep < reps; ++rep) {
+            if (done[static_cast<std::size_t>(rep)] > 0.5) {
+                tb_stats.add(tbs[static_cast<std::size_t>(rep)]);
+                ++completed;
+            }
+            informed_stats.add(informed[static_cast<std::size_t>(rep)]);
+        }
+        if (gap >= side) open_tb = tb_stats.mean();
+        if (gap > 0 && gap < side) {
+            if (widest_gap_tb < 0.0) widest_gap_tb = tb_stats.mean();
+            narrowest_gap_tb = tb_stats.mean();
+        }
+        if (gap == 0) {
+            sealed_completed = completed;
+            sealed_informed = informed_stats.mean();
+        }
+        table.add_row({gap >= side ? "open" : stats::fmt(gap),
+                       stats::fmt(std::int64_t{completed}) + "/" + stats::fmt(std::int64_t{reps}),
+                       completed > 0 ? stats::fmt(tb_stats.mean()) : "timeout",
+                       completed > 0 ? stats::fmt(tb_stats.stderr_mean(), 3) : "-",
+                       stats::fmt(informed_stats.mean(), 4),
+                       completed > 0 && open_tb > 0
+                           ? stats::fmt(tb_stats.mean() / open_tb, 3)
+                           : "-"});
+    }
+    bench::emit(table, args);
+
+    std::cout << "\n(gap 0 = sealed wall: the rumor never crosses; informed count "
+                 "settles at the source-side population, ~k/2 on average)\n";
+    const bool bottleneck = narrowest_gap_tb > 1.3 * widest_gap_tb &&
+                            widest_gap_tb >= 0.8 * open_tb;
+    const bool partition = sealed_completed == 0 && sealed_informed < 0.8 * k;
+    bench::verdict(bottleneck && partition,
+                   "narrower gaps slow broadcast; a sealed wall partitions the system");
+    return 0;
+}

@@ -1,0 +1,69 @@
+// bench_broadcast_vs_k — Experiment E1.
+//
+// Claim (Theorem 1 / Corollary 1): T_B = Θ̃(n/√k) at r = 0. Fixing n and
+// sweeping k, log T_B vs log k must have slope ≈ −1/2 (polylog corrections
+// soften it slightly); the [28] claim would predict slope ≈ −1.
+//
+// Output: one row per k with mean T_B ± stderr, median, 95% bootstrap CI,
+// and the normalized value T_B·√k/n (flat ⇔ the paper's law).
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/bounds.hpp"
+#include "core/broadcast.hpp"
+#include "sim/runner.hpp"
+#include "stats/regression.hpp"
+
+int main(int argc, char** argv) {
+    using namespace smn;
+    sim::Args args{argc, argv};
+    const auto side = static_cast<grid::Coord>(args.get_int("side", args.quick() ? 32 : 64));
+    const int reps = static_cast<int>(args.get_int("reps", args.quick() ? 8 : 30));
+    const auto base_seed = static_cast<std::uint64_t>(args.get_int("seed", 20110601));
+    const auto k_max = args.get_int("kmax", args.quick() ? 64 : 256);
+    args.reject_unknown();
+
+    const std::int64_t n = std::int64_t{side} * side;
+    bench::print_header("E1", "broadcast time vs number of agents (r = 0)",
+                        "T_B = Theta~(n/sqrt(k)); log-log slope vs k ~ -1/2 (Thm 1)");
+    std::cout << "n = " << n << " (side " << side << "), reps = " << reps << "\n\n";
+
+    stats::Table table{{"k", "mean T_B", "stderr", "median", "ci95 lo", "ci95 hi",
+                        "T_B*sqrt(k)/n", "n/sqrt(k)"}};
+    std::vector<double> ks;
+    std::vector<double> tbs;
+    for (std::int64_t k = 4; k <= k_max; k *= 2) {
+        const auto sample = sim::sample_replications(
+            reps, base_seed + static_cast<std::uint64_t>(k),
+            [&](int, std::uint64_t seed) {
+                core::EngineConfig cfg;
+                cfg.side = side;
+                cfg.k = static_cast<std::int32_t>(k);
+                cfg.radius = 0;
+                cfg.seed = seed;
+                return static_cast<double>(
+                    core::run_broadcast(cfg, {.max_steps = 1 << 28}).broadcast_time);
+            });
+        rng::Rng boot{base_seed ^ static_cast<std::uint64_t>(k)};
+        const auto ci = stats::bootstrap_mean_ci(sample.values(), 0.95, 400, boot);
+        const double norm = sample.mean() * std::sqrt(static_cast<double>(k)) /
+                            static_cast<double>(n);
+        table.add_row({stats::fmt(k), stats::fmt(sample.mean()), stats::fmt(sample.stderr_mean(), 3),
+                       stats::fmt(sample.median()), stats::fmt(ci.lo), stats::fmt(ci.hi),
+                       stats::fmt(norm, 3),
+                       stats::fmt(core::bounds::broadcast_scale(n, k))});
+        ks.push_back(static_cast<double>(k));
+        tbs.push_back(sample.mean());
+    }
+    bench::emit(table, args);
+
+    const auto fit = stats::loglog_fit(ks, tbs);
+    std::cout << "\nfitted exponent of T_B vs k: " << stats::fmt(fit.slope, 3) << " ± "
+              << stats::fmt(fit.slope_stderr, 2) << "  (R² = " << stats::fmt(fit.r_squared, 4)
+              << ")\n"
+              << "paper predicts ~ -0.5;  [28] would predict ~ -1\n";
+    bench::verdict(fit.slope < -0.25 && fit.slope > -0.8,
+                   "slope within the Theta~(n/sqrt(k)) band and far from -1");
+    return 0;
+}

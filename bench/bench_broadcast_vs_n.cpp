@@ -1,0 +1,64 @@
+// bench_broadcast_vs_n — Experiment E2.
+//
+// Claim (Theorem 1): at fixed k, T_B grows linearly in n up to polylog
+// factors. Sweeping the grid size at fixed k, log T_B vs log n should have
+// slope ≈ 1 (slightly above due to the log factors).
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/bounds.hpp"
+#include "core/broadcast.hpp"
+#include "sim/runner.hpp"
+#include "stats/regression.hpp"
+
+int main(int argc, char** argv) {
+    using namespace smn;
+    sim::Args args{argc, argv};
+    const auto k = static_cast<std::int32_t>(args.get_int("k", 16));
+    const int reps = static_cast<int>(args.get_int("reps", args.quick() ? 8 : 30));
+    const auto base_seed = static_cast<std::uint64_t>(args.get_int("seed", 20110602));
+    args.reject_unknown();
+
+    bench::print_header("E2", "broadcast time vs grid size (r = 0)",
+                        "T_B = Theta~(n/sqrt(k)): linear in n at fixed k (Thm 1)");
+    std::cout << "k = " << k << ", reps = " << reps << "\n\n";
+
+    const std::vector<grid::Coord> sides =
+        args.quick() ? std::vector<grid::Coord>{16, 24, 32, 48}
+                     : std::vector<grid::Coord>{16, 24, 32, 48, 64, 96, 128};
+
+    stats::Table table{{"side", "n", "mean T_B", "stderr", "median", "T_B/n", "T_B*sqrt(k)/n"}};
+    std::vector<double> ns;
+    std::vector<double> tbs;
+    for (const auto side : sides) {
+        const std::int64_t n = std::int64_t{side} * side;
+        const auto sample = sim::sample_replications(
+            reps, base_seed + static_cast<std::uint64_t>(side),
+            [&](int, std::uint64_t seed) {
+                core::EngineConfig cfg;
+                cfg.side = side;
+                cfg.k = k;
+                cfg.radius = 0;
+                cfg.seed = seed;
+                return static_cast<double>(
+                    core::run_broadcast(cfg, {.max_steps = 1 << 28}).broadcast_time);
+            });
+        table.add_row({stats::fmt(std::int64_t{side}), stats::fmt(n), stats::fmt(sample.mean()),
+                       stats::fmt(sample.stderr_mean(), 3), stats::fmt(sample.median()),
+                       stats::fmt(sample.mean() / static_cast<double>(n), 3),
+                       stats::fmt(sample.mean() * std::sqrt(static_cast<double>(k)) /
+                                      static_cast<double>(n),
+                                  3)});
+        ns.push_back(static_cast<double>(n));
+        tbs.push_back(sample.mean());
+    }
+    bench::emit(table, args);
+
+    const auto fit = stats::loglog_fit(ns, tbs);
+    std::cout << "\nfitted exponent of T_B vs n: " << stats::fmt(fit.slope, 3) << " ± "
+              << stats::fmt(fit.slope_stderr, 2) << "  (R² = " << stats::fmt(fit.r_squared, 4)
+              << ")\npaper predicts ~ 1 (up to polylog)\n";
+    bench::verdict(fit.slope > 0.7 && fit.slope < 1.4, "T_B scales ~linearly in n");
+    return 0;
+}

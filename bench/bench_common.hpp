@@ -1,0 +1,46 @@
+// bench_common.hpp — shared scaffolding for the experiment harnesses.
+//
+// Every bench binary:
+//   * prints a header identifying the experiment id (E1..E17 per
+//     DESIGN.md), the paper claim being reproduced, and the parameters;
+//   * accepts --quick (smaller sweep), --csv (machine-readable output),
+//     --reps=, --seed=, and experiment-specific overrides;
+//   * ends with a PASS/CHECK line summarizing whether the measured shape
+//     matches the paper's prediction (informative, not a hard gate —
+//     genuine assertions live in tests/).
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "sim/args.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/running_stats.hpp"
+#include "stats/table.hpp"
+
+namespace smn::bench {
+
+/// Prints the standard experiment banner.
+inline void print_header(const std::string& id, const std::string& title,
+                         const std::string& claim) {
+    std::cout << "==============================================================\n"
+              << id << " — " << title << "\n"
+              << "paper claim: " << claim << "\n"
+              << "==============================================================\n";
+}
+
+/// Prints the table in the format selected by --csv.
+inline void emit(const stats::Table& table, const sim::Args& args) {
+    if (args.csv()) {
+        table.print_csv(std::cout);
+    } else {
+        table.print(std::cout);
+    }
+}
+
+/// Prints the final shape-check line.
+inline void verdict(bool ok, const std::string& message) {
+    std::cout << (ok ? "[SHAPE-OK] " : "[SHAPE-WARN] ") << message << "\n\n";
+}
+
+}  // namespace smn::bench

@@ -1,0 +1,74 @@
+// bench_coverage — Experiment E12.
+//
+// Claim (Sec. 4): in the dynamic model the coverage time T_C (first time
+// informed agents have visited every node) satisfies T_C ≈ T_B = Θ̃(n/√k).
+// We sweep k and report both, plus their ratio (paper: O(polylog)).
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "models/coverage.hpp"
+#include "sim/runner.hpp"
+#include "stats/regression.hpp"
+
+int main(int argc, char** argv) {
+    using namespace smn;
+    sim::Args args{argc, argv};
+    const auto side = static_cast<grid::Coord>(args.get_int("side", args.quick() ? 24 : 48));
+    const int reps = static_cast<int>(args.get_int("reps", args.quick() ? 6 : 20));
+    const auto base_seed = static_cast<std::uint64_t>(args.get_int("seed", 20110612));
+    const auto k_max = args.get_int("kmax", args.quick() ? 32 : 128);
+    args.reject_unknown();
+
+    const std::int64_t n = std::int64_t{side} * side;
+    bench::print_header("E12", "coverage time vs broadcast time",
+                        "T_C ~= T_B = Theta~(n/sqrt(k)) in the dynamic model (Sec. 4)");
+    std::cout << "n = " << n << ", reps = " << reps << "\n\n";
+
+    stats::Table table{{"k", "mean T_B", "mean T_C", "T_C/T_B", "T_C*sqrt(k)/n"}};
+    std::vector<double> ks;
+    std::vector<double> tcs;
+    bool all_ratios_small = true;
+    for (std::int64_t k = 4; k <= k_max; k *= 2) {
+        std::vector<double> tb_vals(static_cast<std::size_t>(reps));
+        std::vector<double> tc_vals(static_cast<std::size_t>(reps));
+        (void)sim::run_replications(
+            reps, base_seed + static_cast<std::uint64_t>(k),
+            [&](int rep, std::uint64_t seed) {
+                core::EngineConfig cfg;
+                cfg.side = side;
+                cfg.k = static_cast<std::int32_t>(k);
+                cfg.radius = 0;
+                cfg.seed = seed;
+                const auto result = models::run_broadcast_with_coverage(cfg, 1 << 28);
+                tb_vals[static_cast<std::size_t>(rep)] =
+                    static_cast<double>(result.broadcast_time);
+                tc_vals[static_cast<std::size_t>(rep)] =
+                    static_cast<double>(result.coverage_time);
+                return 0.0;
+            });
+        stats::RunningStats tb_stats;
+        stats::RunningStats tc_stats;
+        for (int rep = 0; rep < reps; ++rep) {
+            tb_stats.add(tb_vals[static_cast<std::size_t>(rep)]);
+            tc_stats.add(tc_vals[static_cast<std::size_t>(rep)]);
+        }
+        const double ratio = tc_stats.mean() / std::max(1.0, tb_stats.mean());
+        all_ratios_small = all_ratios_small && ratio < 30.0;
+        table.add_row({stats::fmt(k), stats::fmt(tb_stats.mean()), stats::fmt(tc_stats.mean()),
+                       stats::fmt(ratio, 3),
+                       stats::fmt(tc_stats.mean() * std::sqrt(static_cast<double>(k)) /
+                                      static_cast<double>(n),
+                                  3)});
+        ks.push_back(static_cast<double>(k));
+        tcs.push_back(tc_stats.mean());
+    }
+    bench::emit(table, args);
+
+    const auto fit = stats::loglog_fit(ks, tcs);
+    std::cout << "\nfitted T_C exponent vs k: " << stats::fmt(fit.slope, 3) << " ± "
+              << stats::fmt(fit.slope_stderr, 2) << " (paper: ~ -0.5, like T_B)\n";
+    bench::verdict(all_ratios_small && fit.slope < -0.2,
+                   "coverage tracks broadcast up to small factors");
+    return 0;
+}

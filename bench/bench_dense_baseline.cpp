@@ -1,0 +1,65 @@
+// bench_dense_baseline — Experiment E16.
+//
+// Claim ([7], quoted in Sec. 1.1): in the dense regime k = Θ(n) with
+// per-step exchange radius R and jump radius ρ = O(R), the broadcast time
+// is Θ(√n/R) w.h.p. We sweep R at k = n/2, ρ = 1 and fit the exponent
+// (expected ≈ −1), the contrast to the sparse regime's radius-independence
+// (E3).
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/bounds.hpp"
+#include "models/dense_markov.hpp"
+#include "sim/runner.hpp"
+#include "stats/regression.hpp"
+
+int main(int argc, char** argv) {
+    using namespace smn;
+    sim::Args args{argc, argv};
+    const auto side = static_cast<grid::Coord>(args.get_int("side", args.quick() ? 24 : 48));
+    const int reps = static_cast<int>(args.get_int("reps", args.quick() ? 8 : 25));
+    const auto base_seed = static_cast<std::uint64_t>(args.get_int("seed", 20110616));
+    const auto rho = args.get_int("rho", 1);
+    args.reject_unknown();
+
+    const std::int64_t n = std::int64_t{side} * side;
+    const auto k = static_cast<std::int32_t>(n / 2);
+    bench::print_header("E16", "dense-regime baseline (Clementi et al. [7])",
+                        "k = Theta(n): T_B = Theta(sqrt(n)/R) for rho = O(R)");
+    std::cout << "n = " << n << ", k = " << k << ", rho = " << rho << ", reps = " << reps
+              << "\n\n";
+
+    stats::Table table{{"R", "mean T_B", "stderr", "sqrt(n)/R", "T_B*R/sqrt(n)"}};
+    std::vector<double> Rs;
+    std::vector<double> tbs;
+    for (const std::int64_t R : {1, 2, 3, 4, 6, 8, 12, 16}) {
+        const auto sample = sim::sample_replications(
+            reps, base_seed + static_cast<std::uint64_t>(R),
+            [&](int, std::uint64_t seed) {
+                models::DenseConfig cfg;
+                cfg.side = side;
+                cfg.k = k;
+                cfg.R = R;
+                cfg.rho = rho;
+                cfg.seed = seed;
+                return static_cast<double>(
+                    models::run_dense_broadcast(cfg, 1 << 26).broadcast_time);
+            });
+        const double scale = core::bounds::clementi_dense_scale(n, R);
+        table.add_row({stats::fmt(R), stats::fmt(sample.mean()),
+                       stats::fmt(sample.stderr_mean(), 3), stats::fmt(scale, 4),
+                       stats::fmt(sample.mean() / scale, 3)});
+        Rs.push_back(static_cast<double>(R));
+        tbs.push_back(sample.mean());
+    }
+    bench::emit(table, args);
+
+    const auto fit = stats::loglog_fit(Rs, tbs);
+    std::cout << "\nfitted exponent of T_B vs R: " << stats::fmt(fit.slope, 3) << " ± "
+              << stats::fmt(fit.slope_stderr, 2)
+              << " ([7] predicts ~ -1; contrast with E3 where radius is irrelevant)\n";
+    bench::verdict(fit.slope < -0.6 && fit.slope > -1.4,
+                   "dense regime is radius-limited, unlike the sparse regime");
+    return 0;
+}

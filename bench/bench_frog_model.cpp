@@ -1,0 +1,74 @@
+// bench_frog_model — Experiment E11.
+//
+// Claim (Sec. 4): the Frog model — only informed agents move — obeys the
+// same Θ̃(n/√k) broadcast bound (Lemma 3 replaced by Lemma 1 in the
+// argument). We sweep k, fit the exponent, and report frog vs dynamic
+// side by side.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/broadcast.hpp"
+#include "models/frog.hpp"
+#include "sim/runner.hpp"
+#include "stats/regression.hpp"
+
+int main(int argc, char** argv) {
+    using namespace smn;
+    sim::Args args{argc, argv};
+    const auto side = static_cast<grid::Coord>(args.get_int("side", args.quick() ? 24 : 48));
+    const int reps = static_cast<int>(args.get_int("reps", args.quick() ? 6 : 20));
+    const auto base_seed = static_cast<std::uint64_t>(args.get_int("seed", 20110611));
+    const auto k_max = args.get_int("kmax", args.quick() ? 32 : 128);
+    args.reject_unknown();
+
+    const std::int64_t n = std::int64_t{side} * side;
+    bench::print_header("E11", "Frog model broadcast time",
+                        "frog T_B = Theta~(n/sqrt(k)), same scale as dynamic (Sec. 4)");
+    std::cout << "n = " << n << ", reps = " << reps << "\n\n";
+
+    stats::Table table{{"k", "frog T_B", "stderr", "dynamic T_B", "frog/dynamic",
+                        "frog T_B*sqrt(k)/n"}};
+    std::vector<double> ks;
+    std::vector<double> frog_tbs;
+    for (std::int64_t k = 4; k <= k_max; k *= 2) {
+        std::vector<double> frog_vals(static_cast<std::size_t>(reps));
+        std::vector<double> dyn_vals(static_cast<std::size_t>(reps));
+        (void)sim::run_replications(
+            reps, base_seed + static_cast<std::uint64_t>(k),
+            [&](int rep, std::uint64_t seed) {
+                core::EngineConfig cfg;
+                cfg.side = side;
+                cfg.k = static_cast<std::int32_t>(k);
+                cfg.radius = 0;
+                cfg.seed = seed;
+                frog_vals[static_cast<std::size_t>(rep)] = static_cast<double>(
+                    models::run_frog_broadcast(cfg, {.max_steps = 1 << 28}).broadcast_time);
+                dyn_vals[static_cast<std::size_t>(rep)] = static_cast<double>(
+                    core::run_broadcast(cfg, {.max_steps = 1 << 28}).broadcast_time);
+                return 0.0;
+            });
+        stats::RunningStats frog_stats;
+        stats::RunningStats dyn_stats;
+        for (int rep = 0; rep < reps; ++rep) {
+            frog_stats.add(frog_vals[static_cast<std::size_t>(rep)]);
+            dyn_stats.add(dyn_vals[static_cast<std::size_t>(rep)]);
+        }
+        table.add_row({stats::fmt(k), stats::fmt(frog_stats.mean()),
+                       stats::fmt(frog_stats.stderr_mean(), 3), stats::fmt(dyn_stats.mean()),
+                       stats::fmt(frog_stats.mean() / std::max(1.0, dyn_stats.mean()), 3),
+                       stats::fmt(frog_stats.mean() * std::sqrt(static_cast<double>(k)) /
+                                      static_cast<double>(n),
+                                  3)});
+        ks.push_back(static_cast<double>(k));
+        frog_tbs.push_back(frog_stats.mean());
+    }
+    bench::emit(table, args);
+
+    const auto fit = stats::loglog_fit(ks, frog_tbs);
+    std::cout << "\nfitted frog exponent vs k: " << stats::fmt(fit.slope, 3) << " ± "
+              << stats::fmt(fit.slope_stderr, 2) << " (paper: ~ -0.5)\n";
+    bench::verdict(fit.slope < -0.25 && fit.slope > -0.9,
+                   "frog model matches the Theta~(n/sqrt(k)) scale");
+    return 0;
+}

@@ -1,0 +1,97 @@
+// bench_frontier — Experiment E17.
+//
+// Claim (Lemma 7): with r ≤ √(n/(64e⁶k)) and γ = √(n/(4e⁶k)), over any
+// window of w = γ²/(144 log n) steps the informed frontier x(t) advances
+// at most (γ log n)/2 w.h.p. At laptop scale the window rounds to a few
+// steps; we track x(t) during broadcasts and compare the worst observed
+// window advance with the lemma's allowance, and also report the global
+// average frontier speed (total advance / T_B), which drives Theorem 2.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/bounds.hpp"
+#include "core/engine.hpp"
+#include "core/observers.hpp"
+#include "graph/percolation.hpp"
+#include "sim/runner.hpp"
+
+int main(int argc, char** argv) {
+    using namespace smn;
+    sim::Args args{argc, argv};
+    const int reps = static_cast<int>(args.get_int("reps", args.quick() ? 6 : 20));
+    const auto base_seed = static_cast<std::uint64_t>(args.get_int("seed", 20110617));
+    args.reject_unknown();
+
+    bench::print_header("E17", "frontier speed of the informed area",
+                        "frontier advances <= (gamma log n)/2 per gamma^2/(144 log n) steps "
+                        "(Lemma 7)");
+    std::cout << "reps = " << reps << "\n\n";
+
+    struct Config {
+        grid::Coord side;
+        std::int32_t k;
+    };
+    const std::vector<Config> configs = args.quick()
+                                            ? std::vector<Config>{{32, 16}, {48, 16}}
+                                            : std::vector<Config>{{32, 16}, {48, 16}, {64, 32},
+                                                                  {96, 32}};
+
+    stats::Table table{{"n", "k", "gamma", "window w", "allowance", "worst window adv",
+                        "adv/allowance", "mean speed x/T_B"}};
+    bool ok = true;
+    for (const auto& config : configs) {
+        const std::int64_t n = std::int64_t{config.side} * config.side;
+        const double gamma = graph::island_gamma(n, config.k);
+        const double ln = std::log(static_cast<double>(n));
+        const auto window =
+            std::max<std::int64_t>(1, static_cast<std::int64_t>(gamma * gamma / (144.0 * ln)));
+        const double allowance = std::max(1.0, gamma * ln / 2.0);
+        const auto r =
+            static_cast<std::int64_t>(graph::lower_bound_radius(n, config.k));  // usually 0
+
+        std::vector<double> worst(static_cast<std::size_t>(reps));
+        std::vector<double> speed(static_cast<std::size_t>(reps));
+        (void)sim::run_replications(
+            reps, base_seed + static_cast<std::uint64_t>(n + config.k),
+            [&](int rep, std::uint64_t seed) {
+                core::EngineConfig cfg;
+                cfg.side = config.side;
+                cfg.k = config.k;
+                cfg.radius = r;
+                cfg.seed = seed;
+                core::BroadcastProcess process{cfg};
+                core::FrontierObserver frontier;
+                process.attach(frontier);
+                const auto cap = core::bounds::default_max_steps(n, config.k);
+                while (!process.complete() && process.time() < cap) process.step();
+                worst[static_cast<std::size_t>(rep)] =
+                    static_cast<double>(frontier.max_window_advance(window));
+                const auto& series = frontier.series();
+                const double total_adv =
+                    series.empty() ? 0.0
+                                   : static_cast<double>(series.back() - series.front());
+                speed[static_cast<std::size_t>(rep)] =
+                    total_adv / std::max<double>(1.0, static_cast<double>(process.time()));
+                return 0.0;
+            });
+        double worst_max = 0.0;
+        double speed_mean = 0.0;
+        for (int rep = 0; rep < reps; ++rep) {
+            worst_max = std::max(worst_max, worst[static_cast<std::size_t>(rep)]);
+            speed_mean += speed[static_cast<std::size_t>(rep)];
+        }
+        speed_mean /= reps;
+        ok = ok && worst_max <= allowance;
+        table.add_row({stats::fmt(n), stats::fmt(std::int64_t{config.k}),
+                       stats::fmt(gamma, 3), stats::fmt(window), stats::fmt(allowance, 3),
+                       stats::fmt(worst_max), stats::fmt(worst_max / allowance, 3),
+                       stats::fmt(speed_mean, 4)});
+    }
+    bench::emit(table, args);
+
+    bench::verdict(ok, "frontier never outruns the Lemma 7 allowance");
+    return 0;
+}

@@ -1,0 +1,82 @@
+// bench_gossip — Experiment E5.
+//
+// Claim (Corollary 2): the gossip time T_G (k distinct rumors, all-to-all)
+// obeys the same Θ̃(n/√k) bound as a single broadcast. We sweep k at fixed
+// n and report T_G, the slowest/fastest per-rumor broadcast times, and the
+// ratio T_G / T_B against a matched single-rumor run.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/broadcast.hpp"
+#include "core/gossip.hpp"
+#include "sim/runner.hpp"
+#include "stats/regression.hpp"
+
+int main(int argc, char** argv) {
+    using namespace smn;
+    sim::Args args{argc, argv};
+    const auto side = static_cast<grid::Coord>(args.get_int("side", args.quick() ? 24 : 48));
+    const int reps = static_cast<int>(args.get_int("reps", args.quick() ? 6 : 20));
+    const auto base_seed = static_cast<std::uint64_t>(args.get_int("seed", 20110605));
+    const auto k_max = args.get_int("kmax", args.quick() ? 32 : 128);
+    args.reject_unknown();
+
+    const std::int64_t n = std::int64_t{side} * side;
+    bench::print_header("E5", "gossip time (k rumors, all-to-all)",
+                        "T_G = O~(n/sqrt(k)), same scale as broadcast (Cor 2)");
+    std::cout << "n = " << n << ", reps = " << reps << "\n\n";
+
+    stats::Table table{{"k", "mean T_G", "stderr", "mean T_B", "T_G/T_B", "mean rumor T_B",
+                        "T_G*sqrt(k)/n"}};
+    std::vector<double> ks;
+    std::vector<double> tgs;
+    for (std::int64_t k = 4; k <= k_max; k *= 2) {
+        // Per-replication results are written into preallocated slots so the
+        // parallel workers never contend.
+        std::vector<double> tg_vals(static_cast<std::size_t>(reps));
+        std::vector<double> tb_vals(static_cast<std::size_t>(reps));
+        std::vector<double> rumor_means(static_cast<std::size_t>(reps));
+        (void)sim::run_replications(
+            reps, base_seed + static_cast<std::uint64_t>(k),
+            [&](int rep, std::uint64_t seed) {
+                core::EngineConfig cfg;
+                cfg.side = side;
+                cfg.k = static_cast<std::int32_t>(k);
+                cfg.radius = 0;
+                cfg.seed = seed;
+                const auto g = core::run_gossip(cfg, 1 << 28);
+                const auto b = core::run_broadcast(cfg, {.max_steps = 1 << 28});
+                tg_vals[static_cast<std::size_t>(rep)] = static_cast<double>(g.gossip_time);
+                tb_vals[static_cast<std::size_t>(rep)] = static_cast<double>(b.broadcast_time);
+                rumor_means[static_cast<std::size_t>(rep)] = g.mean_rumor_broadcast_time;
+                return 0.0;
+            });
+        stats::RunningStats tg_stats;
+        stats::RunningStats tb_stats;
+        stats::RunningStats mean_rumor_stats;
+        for (int rep = 0; rep < reps; ++rep) {
+            tg_stats.add(tg_vals[static_cast<std::size_t>(rep)]);
+            tb_stats.add(tb_vals[static_cast<std::size_t>(rep)]);
+            mean_rumor_stats.add(rumor_means[static_cast<std::size_t>(rep)]);
+        }
+        table.add_row(
+            {stats::fmt(k), stats::fmt(tg_stats.mean()), stats::fmt(tg_stats.stderr_mean(), 3),
+             stats::fmt(tb_stats.mean()),
+             stats::fmt(tg_stats.mean() / std::max(1.0, tb_stats.mean()), 3),
+             stats::fmt(mean_rumor_stats.mean()),
+             stats::fmt(tg_stats.mean() * std::sqrt(static_cast<double>(k)) /
+                            static_cast<double>(n),
+                        3)});
+        ks.push_back(static_cast<double>(k));
+        tgs.push_back(tg_stats.mean());
+    }
+    bench::emit(table, args);
+
+    const auto fit = stats::loglog_fit(ks, tgs);
+    std::cout << "\nfitted exponent of T_G vs k: " << stats::fmt(fit.slope, 3) << " ± "
+              << stats::fmt(fit.slope_stderr, 2) << " (paper: ~ -0.5, same as broadcast)\n";
+    bench::verdict(fit.slope < -0.2 && fit.slope > -0.9,
+                   "gossip scales like a single broadcast");
+    return 0;
+}

@@ -1,0 +1,107 @@
+// bench_islands — Experiment E9.
+//
+// Claim (Lemma 6): with island parameter γ = √(n/(4e⁶k)), the largest
+// island (component of G_t(γ)) over a horizon of 8n log²n steps holds at
+// most log n agents w.h.p. We track the max island size over a (capped)
+// horizon for growing n and compare against log n; we also show how island
+// sizes blow up as the radius approaches and crosses r_c.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/percolation.hpp"
+#include "graph/visibility.hpp"
+#include "grid/grid.hpp"
+#include "rng/rng.hpp"
+#include "sim/runner.hpp"
+#include "walk/ensemble.hpp"
+
+namespace {
+
+// Max island size over `steps` steps of k walking agents at radius r.
+double max_island_over_run(smn::grid::Coord side, std::int32_t k, std::int64_t r,
+                           std::int64_t steps, std::uint64_t seed) {
+    using namespace smn;
+    const auto g = grid::Grid2D::square(side);
+    rng::Rng rng{seed};
+    walk::AgentEnsemble agents{g, k, rng};
+    graph::VisibilityGraphBuilder builder{g, r};
+    graph::DisjointSets dsu{static_cast<std::size_t>(k)};
+    std::int64_t max_size = 0;
+    for (std::int64_t t = 0; t <= steps; ++t) {
+        builder.build(agents.positions(), dsu);
+        max_size = std::max(max_size, graph::component_stats(dsu).max_size);
+        agents.step_all(rng);
+    }
+    return static_cast<double>(max_size);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace smn;
+    sim::Args args{argc, argv};
+    const int reps = static_cast<int>(args.get_int("reps", args.quick() ? 5 : 15));
+    const auto steps = args.get_int("steps", args.quick() ? 300 : 2000);
+    const auto base_seed = static_cast<std::uint64_t>(args.get_int("seed", 20110609));
+    args.reject_unknown();
+
+    bench::print_header("E9", "island sizes below the percolation point",
+                        "max island of parameter gamma = sqrt(n/(4e^6 k)) is <= log n w.h.p. "
+                        "(Lemma 6 / Def. 2)");
+    std::cout << "reps = " << reps << ", horizon = " << steps
+              << " steps (capped; paper horizon is 8n log^2 n)\n\n";
+
+    // Part A: scaling of max island with n at the Lemma 6 radius. Density
+    // k = n/16 keeps the system sparse (n >= 2k) while γ stays ~constant.
+    std::cout << "Part A: max island at radius gamma (k = n/16)\n";
+    stats::Table table{{"side", "n", "k", "gamma", "mean max island", "max max island",
+                        "log2(n)", "max/log2(n)"}};
+    bool part_a_ok = true;
+    const std::vector<grid::Coord> sides = args.quick()
+                                               ? std::vector<grid::Coord>{32, 48, 64}
+                                               : std::vector<grid::Coord>{32, 48, 64, 96, 128};
+    for (const auto side : sides) {
+        const std::int64_t n = std::int64_t{side} * side;
+        const auto k = static_cast<std::int32_t>(n / 16);
+        const auto gamma =
+            std::max<std::int64_t>(1, static_cast<std::int64_t>(graph::island_gamma(n, k)));
+        const auto sample = sim::sample_replications(
+            reps, base_seed + static_cast<std::uint64_t>(side),
+            [&](int, std::uint64_t seed) {
+                return max_island_over_run(side, k, gamma, steps, seed);
+            });
+        const double logn = std::log2(static_cast<double>(n));
+        part_a_ok = part_a_ok && sample.max() <= 4.0 * logn;
+        table.add_row({stats::fmt(std::int64_t{side}), stats::fmt(n),
+                       stats::fmt(std::int64_t{k}), stats::fmt(gamma),
+                       stats::fmt(sample.mean(), 3), stats::fmt(sample.max()),
+                       stats::fmt(logn, 3), stats::fmt(sample.max() / logn, 3)});
+    }
+    bench::emit(table, args);
+
+    // Part B: island size vs radius at fixed (n, k) — the blow-up at r_c.
+    std::cout << "\nPart B: max island vs radius (side 64, k 256, r_c = "
+              << stats::fmt(graph::percolation_radius(4096, 256), 3) << ")\n";
+    stats::Table radius_table{{"r", "r/r_c", "mean max island", "fraction of k"}};
+    const grid::Coord side_b = 64;
+    const std::int32_t k_b = 256;
+    const double rc = graph::percolation_radius(4096, 256);
+    for (const std::int64_t r : {1, 2, 3, 4, 6, 8, 12}) {
+        const auto sample = sim::sample_replications(
+            reps, base_seed + 7777 + static_cast<std::uint64_t>(r),
+            [&](int, std::uint64_t seed) {
+                return max_island_over_run(side_b, k_b, r, std::min<std::int64_t>(steps, 200),
+                                           seed);
+            });
+        radius_table.add_row({stats::fmt(r), stats::fmt(static_cast<double>(r) / rc, 3),
+                              stats::fmt(sample.mean(), 4),
+                              stats::fmt(sample.mean() / k_b, 3)});
+    }
+    bench::emit(radius_table, args);
+
+    bench::verdict(part_a_ok, "islands at parameter gamma stay logarithmic in n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+// bench_lower_bound — Experiment E4.
+//
+// Claim (Theorem 2): for r ≤ √(n/(64e⁶k)), T_B = Ω(n/(√k log²n)) w.h.p.
+// We run at exactly that radius (usually 0 or 1 at laptop scale) across a
+// grid of (n, k) pairs and report the ratio T_B·√k·log²n / n, which the
+// theorem bounds away from 0, and the sharper T_B·√k/n which Theorem 1
+// bounds above (up to polylog).
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/bounds.hpp"
+#include "core/broadcast.hpp"
+#include "graph/percolation.hpp"
+#include "sim/runner.hpp"
+
+int main(int argc, char** argv) {
+    using namespace smn;
+    sim::Args args{argc, argv};
+    const int reps = static_cast<int>(args.get_int("reps", args.quick() ? 8 : 25));
+    const auto base_seed = static_cast<std::uint64_t>(args.get_int("seed", 20110604));
+    args.reject_unknown();
+
+    bench::print_header("E4", "lower bound at the Theorem-2 radius",
+                        "T_B = Omega(n/(sqrt(k) log^2 n)) for r <= sqrt(n/(64 e^6 k)) (Thm 2)");
+    std::cout << "reps = " << reps << "\n\n";
+
+    struct Config {
+        grid::Coord side;
+        std::int32_t k;
+    };
+    const std::vector<Config> configs =
+        args.quick() ? std::vector<Config>{{24, 8}, {32, 16}, {48, 16}}
+                     : std::vector<Config>{{24, 8},  {32, 8},  {32, 16}, {48, 16},
+                                           {48, 32}, {64, 32}, {64, 64}, {96, 64}};
+
+    stats::Table table{{"n", "k", "r_lb", "mean T_B", "lower scale", "T_B/lower",
+                        "T_B*sqrt(k)*ln^2(n)/n"}};
+    double min_ratio = 1e300;
+    for (const auto& config : configs) {
+        const std::int64_t n = std::int64_t{config.side} * config.side;
+        const auto r = static_cast<std::int64_t>(graph::lower_bound_radius(n, config.k));
+        const auto sample = sim::sample_replications(
+            reps, base_seed + static_cast<std::uint64_t>(n * 7 + config.k),
+            [&](int, std::uint64_t seed) {
+                core::EngineConfig cfg;
+                cfg.side = config.side;
+                cfg.k = config.k;
+                cfg.radius = r;
+                cfg.seed = seed;
+                return static_cast<double>(
+                    core::run_broadcast(cfg, {.max_steps = 1 << 28}).broadcast_time);
+            });
+        const double lower = core::bounds::broadcast_lower_bound_scale(n, config.k);
+        const double ln = std::log(static_cast<double>(n));
+        const double normalized =
+            sample.mean() * std::sqrt(static_cast<double>(config.k)) * ln * ln /
+            static_cast<double>(n);
+        min_ratio = std::min(min_ratio, sample.mean() / lower);
+        table.add_row({stats::fmt(n), stats::fmt(std::int64_t{config.k}), stats::fmt(r),
+                       stats::fmt(sample.mean()), stats::fmt(lower),
+                       stats::fmt(sample.mean() / lower, 3), stats::fmt(normalized, 3)});
+    }
+    bench::emit(table, args);
+
+    std::cout << "\nminimum T_B / lower-scale ratio: " << stats::fmt(min_ratio, 3)
+              << " (theorem: bounded away from 0)\n";
+    bench::verdict(min_ratio > 1.0, "measured T_B sits above the Omega(n/(sqrt(k) log^2 n)) scale");
+    return 0;
+}

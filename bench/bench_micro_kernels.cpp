@@ -1,0 +1,122 @@
+// bench_micro_kernels — Experiment E18 (engineering, not a paper claim).
+//
+// google-benchmark timings of the hot kernels that set the simulator's
+// throughput: walk stepping, occupancy/bucket rebuilds, visibility
+// component construction at several radii, component flooding, and a full
+// engine step. These justify the performance envelope quoted in DESIGN.md
+// (O(k) expected per time step at sparse densities).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/engine.hpp"
+#include "graph/visibility.hpp"
+#include "grid/grid.hpp"
+#include "rng/rng.hpp"
+#include "spatial/bucket_index.hpp"
+#include "spatial/occupancy.hpp"
+#include "walk/ensemble.hpp"
+
+namespace {
+
+using namespace smn;
+
+void BM_WalkStepAll(benchmark::State& state) {
+    const auto k = static_cast<std::int32_t>(state.range(0));
+    const auto g = grid::Grid2D::square(256);
+    rng::Rng rng{1};
+    walk::AgentEnsemble agents{g, k, rng};
+    for (auto _ : state) {
+        agents.step_all(rng);
+        benchmark::DoNotOptimize(agents.positions().data());
+    }
+    state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_WalkStepAll)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_OccupancyRebuild(benchmark::State& state) {
+    const auto k = static_cast<std::int32_t>(state.range(0));
+    const auto g = grid::Grid2D::square(256);
+    rng::Rng rng{2};
+    walk::AgentEnsemble agents{g, k, rng};
+    spatial::OccupancyMap occ{g};
+    for (auto _ : state) {
+        occ.rebuild(agents.positions());
+        benchmark::DoNotOptimize(occ.occupied_nodes().data());
+    }
+    state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_OccupancyRebuild)->Arg(256)->Arg(4096);
+
+void BM_BucketRebuild(benchmark::State& state) {
+    const auto k = static_cast<std::int32_t>(state.range(0));
+    const auto g = grid::Grid2D::square(256);
+    rng::Rng rng{3};
+    walk::AgentEnsemble agents{g, k, rng};
+    auto idx = spatial::BucketIndex::for_radius(g, 8);
+    for (auto _ : state) {
+        idx.rebuild(agents.positions());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_BucketRebuild)->Arg(256)->Arg(4096);
+
+void BM_VisibilityBuild(benchmark::State& state) {
+    const auto k = static_cast<std::int32_t>(state.range(0));
+    const auto radius = state.range(1);
+    const auto g = grid::Grid2D::square(256);
+    rng::Rng rng{4};
+    walk::AgentEnsemble agents{g, k, rng};
+    graph::VisibilityGraphBuilder builder{g, radius};
+    graph::DisjointSets dsu{static_cast<std::size_t>(k)};
+    for (auto _ : state) {
+        builder.build(agents.positions(), dsu);
+        benchmark::DoNotOptimize(dsu.set_count());
+    }
+    state.SetItemsProcessed(state.iterations() * k);
+}
+// Radii spanning r = 0, subcritical, percolation-scale (√(n/k)) and above.
+BENCHMARK(BM_VisibilityBuild)
+    ->Args({256, 0})
+    ->Args({256, 4})
+    ->Args({256, 16})
+    ->Args({256, 32})
+    ->Args({4096, 0})
+    ->Args({4096, 4});
+
+void BM_ComponentStats(benchmark::State& state) {
+    const auto k = static_cast<std::int32_t>(state.range(0));
+    const auto g = grid::Grid2D::square(256);
+    rng::Rng rng{5};
+    walk::AgentEnsemble agents{g, k, rng};
+    graph::VisibilityGraphBuilder builder{g, 8};
+    graph::DisjointSets dsu{static_cast<std::size_t>(k)};
+    builder.build(agents.positions(), dsu);
+    for (auto _ : state) {
+        const auto stats = graph::component_stats(dsu);
+        benchmark::DoNotOptimize(stats.max_size);
+    }
+}
+BENCHMARK(BM_ComponentStats)->Arg(256)->Arg(4096);
+
+void BM_EngineStep(benchmark::State& state) {
+    const auto k = static_cast<std::int32_t>(state.range(0));
+    const auto radius = state.range(1);
+    core::EngineConfig cfg;
+    cfg.side = 256;
+    cfg.k = k;
+    cfg.radius = radius;
+    cfg.seed = 6;
+    core::BroadcastProcess process{cfg};
+    for (auto _ : state) {
+        process.step();
+        benchmark::DoNotOptimize(process.rumor().informed_count());
+    }
+    state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_EngineStep)->Args({256, 0})->Args({256, 8})->Args({4096, 0})->Args({4096, 4});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// bench_percolation — Experiment E10.
+//
+// Claim (Sec. 1, refs [24, 25]): the visibility graph of k uniformly
+// placed agents percolates at r_c ≈ √(n/k): below it the largest component
+// is a vanishing fraction of k; above it a giant component emerges. We
+// sweep r/r_c and report the order parameter (largest component fraction),
+// component counts, and singleton fraction — the knee should sit at ≈ 1.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/percolation.hpp"
+#include "graph/visibility.hpp"
+#include "grid/grid.hpp"
+#include "rng/rng.hpp"
+#include "sim/runner.hpp"
+#include "walk/ensemble.hpp"
+
+int main(int argc, char** argv) {
+    using namespace smn;
+    sim::Args args{argc, argv};
+    const auto side = static_cast<grid::Coord>(args.get_int("side", args.quick() ? 48 : 96));
+    const auto k = static_cast<std::int32_t>(args.get_int("k", args.quick() ? 144 : 576));
+    const int reps = static_cast<int>(args.get_int("reps", args.quick() ? 20 : 60));
+    const auto base_seed = static_cast<std::uint64_t>(args.get_int("seed", 20110610));
+    args.reject_unknown();
+
+    const std::int64_t n = std::int64_t{side} * side;
+    const double rc = graph::percolation_radius(n, k);
+    bench::print_header("E10", "percolation transition of the visibility graph",
+                        "giant component emerges at r_c ~ sqrt(n/k) ([24, 25], Sec. 1)");
+    std::cout << "n = " << n << ", k = " << k << ", r_c = " << stats::fmt(rc, 3)
+              << ", reps = " << reps << " independent uniform placements\n\n";
+
+    stats::Table table{{"r", "r/r_c", "largest frac", "mean comp size", "#components",
+                        "singleton frac"}};
+    double frac_below = -1.0;
+    double frac_above = -1.0;
+    std::int64_t last_r = -1;
+    for (const double rel : {0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0, 3.0}) {
+        const auto r = std::max<std::int64_t>(1, static_cast<std::int64_t>(rel * rc + 0.5));
+        if (r == last_r) continue;  // small r_c: consecutive fractions round together
+        last_r = r;
+        std::vector<double> largest(static_cast<std::size_t>(reps));
+        std::vector<double> mean_size(static_cast<std::size_t>(reps));
+        std::vector<double> comp_count(static_cast<std::size_t>(reps));
+        std::vector<double> singleton(static_cast<std::size_t>(reps));
+        (void)sim::run_replications(
+            reps, base_seed + static_cast<std::uint64_t>(r * 31),
+            [&](int rep, std::uint64_t seed) {
+                const auto g = grid::Grid2D::square(side);
+                rng::Rng rng{seed};
+                walk::AgentEnsemble agents{g, k, rng};
+                graph::VisibilityGraphBuilder builder{g, r};
+                graph::DisjointSets dsu{static_cast<std::size_t>(k)};
+                builder.build(agents.positions(), dsu);
+                const auto stats_r = graph::component_stats(dsu);
+                largest[static_cast<std::size_t>(rep)] = stats_r.largest_fraction;
+                mean_size[static_cast<std::size_t>(rep)] = stats_r.mean_size;
+                comp_count[static_cast<std::size_t>(rep)] =
+                    static_cast<double>(stats_r.component_count);
+                singleton[static_cast<std::size_t>(rep)] =
+                    static_cast<double>(stats_r.singletons()) / k;
+                return 0.0;
+            });
+        const auto mean_of = [&](const std::vector<double>& v) {
+            double s = 0.0;
+            for (const double x : v) s += x;
+            return s / static_cast<double>(v.size());
+        };
+        const double frac = mean_of(largest);
+        if (rel == 0.5) frac_below = frac;
+        if (rel == 2.0) frac_above = frac;
+        table.add_row({stats::fmt(r), stats::fmt(static_cast<double>(r) / rc, 3),
+                       stats::fmt(frac, 4), stats::fmt(mean_of(mean_size), 3),
+                       stats::fmt(mean_of(comp_count)), stats::fmt(mean_of(singleton), 3)});
+    }
+    bench::emit(table, args);
+
+    std::cout << "\nlargest-component fraction at 0.5 r_c: " << stats::fmt(frac_below, 3)
+              << "   at 2 r_c: " << stats::fmt(frac_above, 3) << "\n";
+    bench::verdict(frac_below < 0.25 && frac_above > 0.6,
+                   "sharp percolation transition near r_c");
+    return 0;
+}

@@ -1,0 +1,80 @@
+// bench_predator_prey — Experiment E14.
+//
+// Claim (Sec. 4): in a random predator–prey system with k = Ω(log n)
+// predators performing independent random walks, the extinction time of
+// the prey is O((n log²n)/k) w.h.p. We sweep the number of predators and
+// report extinction times against that scale, for both moving and static
+// prey.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/bounds.hpp"
+#include "models/predator_prey.hpp"
+#include "sim/runner.hpp"
+#include "stats/regression.hpp"
+
+int main(int argc, char** argv) {
+    using namespace smn;
+    sim::Args args{argc, argv};
+    const auto side = static_cast<grid::Coord>(args.get_int("side", args.quick() ? 24 : 48));
+    const auto prey = static_cast<std::int32_t>(args.get_int("prey", 16));
+    const int reps = static_cast<int>(args.get_int("reps", args.quick() ? 6 : 20));
+    const auto base_seed = static_cast<std::uint64_t>(args.get_int("seed", 20110614));
+    const auto k_max = args.get_int("kmax", args.quick() ? 32 : 128);
+    args.reject_unknown();
+
+    const std::int64_t n = std::int64_t{side} * side;
+    bench::print_header("E14", "predator-prey extinction time",
+                        "extinction = O(n log^2 n / k) for k predators (Sec. 4, [9])");
+    std::cout << "n = " << n << ", prey m = " << prey << ", reps = " << reps << "\n\n";
+
+    stats::Table table{{"k", "extinct (moving)", "extinct (static)", "bound scale",
+                        "moving/bound"}};
+    std::vector<double> ks;
+    std::vector<double> times;
+    double max_ratio = 0.0;
+    for (std::int64_t k = 4; k <= k_max; k *= 2) {
+        std::vector<double> moving(static_cast<std::size_t>(reps));
+        std::vector<double> frozen(static_cast<std::size_t>(reps));
+        (void)sim::run_replications(
+            reps, base_seed + static_cast<std::uint64_t>(k),
+            [&](int rep, std::uint64_t seed) {
+                models::PredatorPreyConfig cfg;
+                cfg.side = side;
+                cfg.predators = static_cast<std::int32_t>(k);
+                cfg.prey = prey;
+                cfg.seed = seed;
+                cfg.prey_moves = true;
+                moving[static_cast<std::size_t>(rep)] = static_cast<double>(
+                    models::run_predator_prey(cfg, 1 << 28).extinction_time);
+                cfg.prey_moves = false;
+                frozen[static_cast<std::size_t>(rep)] = static_cast<double>(
+                    models::run_predator_prey(cfg, 1 << 28).extinction_time);
+                return 0.0;
+            });
+        stats::RunningStats moving_stats;
+        stats::RunningStats frozen_stats;
+        for (int rep = 0; rep < reps; ++rep) {
+            moving_stats.add(moving[static_cast<std::size_t>(rep)]);
+            frozen_stats.add(frozen[static_cast<std::size_t>(rep)]);
+        }
+        const double bound = core::bounds::extinction_scale(n, k);
+        max_ratio = std::max(max_ratio, moving_stats.mean() / bound);
+        table.add_row({stats::fmt(k), stats::fmt(moving_stats.mean()),
+                       stats::fmt(frozen_stats.mean()), stats::fmt(bound),
+                       stats::fmt(moving_stats.mean() / bound, 3)});
+        ks.push_back(static_cast<double>(k));
+        times.push_back(moving_stats.mean());
+    }
+    bench::emit(table, args);
+
+    const auto fit = stats::loglog_fit(ks, times);
+    std::cout << "\nfitted extinction exponent vs k: " << stats::fmt(fit.slope, 3) << " ± "
+              << stats::fmt(fit.slope_stderr, 2)
+              << " (paper: ~ -1 while the n log^2 n/k term dominates)\n"
+              << "max measured/bound ratio: " << stats::fmt(max_ratio, 3) << "\n";
+    bench::verdict(fit.slope < -0.4 && max_ratio < 4.0,
+                   "extinction time shrinks ~1/k as the paper's bound predicts");
+    return 0;
+}

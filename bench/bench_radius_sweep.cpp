@@ -1,0 +1,86 @@
+// bench_radius_sweep — Experiment E3, the paper's headline.
+//
+// Claim (Theorems 1+2): below the percolation point r_c ≈ √(n/k) the
+// broadcast time does not depend on the transmission radius — T_B stays at
+// Θ̃(n/√k) for every 0 ≤ r < r_c, then collapses above r_c where a giant
+// component floods most agents at once (Peres et al. regime).
+//
+// Output: T_B vs r/r_c. The paper's prediction is a plateau left of 1.0
+// and a cliff right of it.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/bounds.hpp"
+#include "core/broadcast.hpp"
+#include "graph/percolation.hpp"
+#include "sim/runner.hpp"
+
+int main(int argc, char** argv) {
+    using namespace smn;
+    sim::Args args{argc, argv};
+    const auto side = static_cast<grid::Coord>(args.get_int("side", args.quick() ? 32 : 64));
+    const auto k = static_cast<std::int32_t>(args.get_int("k", args.quick() ? 16 : 64));
+    const int reps = static_cast<int>(args.get_int("reps", args.quick() ? 8 : 30));
+    const auto base_seed = static_cast<std::uint64_t>(args.get_int("seed", 20110603));
+    args.reject_unknown();
+
+    const std::int64_t n = std::int64_t{side} * side;
+    const double rc = graph::percolation_radius(n, k);
+    bench::print_header("E3", "broadcast time vs transmission radius",
+                        "T_B independent of r below r_c; collapse above (Thm 1+2, [25])");
+    std::cout << "n = " << n << ", k = " << k << ", r_c = " << stats::fmt(rc, 3)
+              << ", reps = " << reps << "\n\n";
+
+    // Radii covering [0, 2.5 r_c].
+    std::vector<std::int64_t> radii{0};
+    for (const double frac : {0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0, 1.25, 1.5, 2.0, 2.5}) {
+        const auto r = static_cast<std::int64_t>(frac * rc + 0.5);
+        if (r > 0 && r != radii.back()) radii.push_back(r);
+    }
+
+    stats::Table table{{"r", "r/r_c", "regime", "mean T_B", "stderr", "median",
+                        "T_B*sqrt(k)/n"}};
+    double plateau_min = 1e300;
+    double plateau_max = 0.0;
+    double super_min = 1e300;
+    for (const auto r : radii) {
+        const auto sample = sim::sample_replications(
+            reps, base_seed + static_cast<std::uint64_t>(r * 131),
+            [&](int, std::uint64_t seed) {
+                core::EngineConfig cfg;
+                cfg.side = side;
+                cfg.k = k;
+                cfg.radius = r;
+                cfg.seed = seed;
+                return static_cast<double>(
+                    core::run_broadcast(cfg, {.max_steps = 1 << 28}).broadcast_time);
+            });
+        const auto regime = graph::classify_regime(n, k, r);
+        const double frac = static_cast<double>(r) / rc;
+        if (frac < 0.8) {
+            plateau_min = std::min(plateau_min, sample.mean());
+            plateau_max = std::max(plateau_max, sample.mean());
+        }
+        if (frac > 1.8) super_min = std::min(super_min, sample.mean());
+        table.add_row({stats::fmt(r), stats::fmt(frac, 3), graph::regime_name(regime),
+                       stats::fmt(sample.mean()), stats::fmt(sample.stderr_mean(), 3),
+                       stats::fmt(sample.median()),
+                       stats::fmt(sample.mean() * std::sqrt(static_cast<double>(k)) /
+                                      static_cast<double>(n),
+                                  3)});
+    }
+    bench::emit(table, args);
+
+    std::cout << "\nsubcritical plateau: max/min = "
+              << stats::fmt(plateau_max / std::max(1.0, plateau_min), 3)
+              << " (paper: Theta~-equal, i.e. O(polylog) ratio; r = 0 vs r >= 1 carries\n"
+              << " the largest constant-factor gap since co-location is 5x stricter "
+                 "than distance-1)\n"
+              << "supercritical vs plateau: " << stats::fmt(super_min, 3) << " vs "
+              << stats::fmt(plateau_min, 3) << "\n";
+    bench::verdict(plateau_max < 8.0 * std::max(1.0, plateau_min) &&
+                       super_min < 0.2 * plateau_min,
+                   "subcritical T_B varies only by small factors; collapse above r_c");
+    return 0;
+}

@@ -1,0 +1,115 @@
+// bench_walk_range — Experiment E8.
+//
+// Claims (Lemma 2):
+//  (1) displacement: P(max displacement over ℓ steps ≥ λ√ℓ) ≤ 2e^{−λ²/2}
+//      (per-coordinate Azuma bound);
+//  (2) range: with probability > 1/2 the walk visits ≥ c₂·ℓ/log ℓ distinct
+//      nodes in ℓ steps.
+//
+// Part A sweeps ℓ and reports the median range normalized by ℓ/log ℓ.
+// Part B fixes ℓ and tabulates the displacement tail vs the Azuma bound.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/runner.hpp"
+#include "walk/step.hpp"
+#include "walk/tracker.hpp"
+
+int main(int argc, char** argv) {
+    using namespace smn;
+    sim::Args args{argc, argv};
+    const int reps = static_cast<int>(args.get_int("reps", args.quick() ? 100 : 500));
+    const auto base_seed = static_cast<std::uint64_t>(args.get_int("seed", 20110608));
+    args.reject_unknown();
+
+    bench::print_header("E8", "range and displacement of a single walk",
+                        "range >= c2*l/log l w.p. > 1/2; displacement tail <= 2e^{-lambda^2/2} "
+                        "(Lemma 2)");
+    std::cout << "reps = " << reps << "\n\n";
+
+    // ---------------------------------------------------------- Part A: range
+    std::cout << "Part A: distinct nodes visited in l steps\n";
+    stats::Table range_table{{"l", "median range", "mean range", "range*log(l)/l (median)",
+                              "frac >= 0.2*l/log l"}};
+    const std::vector<std::int64_t> lengths =
+        args.quick() ? std::vector<std::int64_t>{64, 256, 1024}
+                     : std::vector<std::int64_t>{64, 256, 1024, 4096, 16384};
+    for (const auto len : lengths) {
+        // Interior start on a grid large enough that the boundary is
+        // (almost) never touched: side = 4√ℓ.
+        const auto side =
+            static_cast<grid::Coord>(4 * static_cast<std::int64_t>(std::sqrt((double)len)) + 8);
+        const auto g = grid::Grid2D::square(side);
+        const grid::Point start{static_cast<grid::Coord>(side / 2),
+                                static_cast<grid::Coord>(side / 2)};
+        const auto ranges = sim::run_replications(
+            reps, base_seed + static_cast<std::uint64_t>(len),
+            [&](int, std::uint64_t seed) {
+                rng::Rng rng{seed};
+                walk::WalkTracker tracker{g};
+                tracker.begin(start);
+                grid::Point p = start;
+                for (std::int64_t t = 0; t < len; ++t) {
+                    p = walk::step(g, p, rng);
+                    tracker.record(p);
+                }
+                return static_cast<double>(tracker.range());
+            });
+        std::vector<double> sorted = ranges;
+        std::sort(sorted.begin(), sorted.end());
+        const double median = sorted[sorted.size() / 2];
+        double mean = 0.0;
+        for (const double r : ranges) mean += r;
+        mean /= static_cast<double>(ranges.size());
+        const double scale = static_cast<double>(len) / std::log(static_cast<double>(len));
+        int above = 0;
+        for (const double r : ranges) above += (r >= 0.2 * scale);
+        range_table.add_row({stats::fmt(len), stats::fmt(median), stats::fmt(mean),
+                             stats::fmt(median / scale, 3),
+                             stats::fmt(static_cast<double>(above) / reps, 3)});
+    }
+    bench::emit(range_table, args);
+
+    // ---------------------------------------------------- Part B: displacement
+    std::cout << "\nPart B: max displacement tail over l = 1024 steps\n";
+    const std::int64_t len = 1024;
+    const auto side = static_cast<grid::Coord>(6 * 32 + 8);
+    const auto g = grid::Grid2D::square(side);
+    const grid::Point start{static_cast<grid::Coord>(side / 2),
+                            static_cast<grid::Coord>(side / 2)};
+    const auto disps = sim::run_replications(
+        reps * 4, base_seed + 999,
+        [&](int, std::uint64_t seed) {
+            rng::Rng rng{seed};
+            grid::Point p = start;
+            std::int64_t maxd = 0;
+            for (std::int64_t t = 0; t < len; ++t) {
+                p = walk::step(g, p, rng);
+                maxd = std::max(maxd, grid::manhattan(start, p));
+            }
+            return static_cast<double>(maxd);
+        });
+    stats::Table tail_table{{"lambda", "threshold", "empirical tail", "Azuma bound 2e^{-l^2/2}"}};
+    bool tail_ok = true;
+    for (const double lambda : {0.5, 1.0, 1.5, 2.0, 2.5, 3.0}) {
+        const double threshold = lambda * std::sqrt(static_cast<double>(len));
+        int exceed = 0;
+        for (const double d : disps) exceed += (d >= threshold);
+        const double tail = static_cast<double>(exceed) / static_cast<double>(disps.size());
+        const double bound = 2.0 * std::exp(-lambda * lambda / 2.0);
+        // The Azuma bound is per-coordinate; the L1 displacement sums two
+        // coordinates, so compare against min(1, 2×bound) as the honest
+        // union-bound reference.
+        const double reference = std::min(1.0, 2.0 * bound);
+        tail_ok = tail_ok && (tail <= reference + 0.05);
+        tail_table.add_row({stats::fmt(lambda, 2), stats::fmt(threshold),
+                            stats::fmt(tail, 4), stats::fmt(bound, 4)});
+    }
+    bench::emit(tail_table, args);
+
+    bench::verdict(tail_ok, "displacement tail is subgaussian as Lemma 2.1 predicts");
+    return 0;
+}

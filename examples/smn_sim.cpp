@@ -1,0 +1,168 @@
+// smn_sim — general-purpose command-line simulator over all libsmn models.
+//
+// One binary to run any process in the library with explicit parameters —
+// the tool a downstream user scripts against (every run is deterministic
+// given --seed, so results are reproducible in pipelines).
+//
+// Usage:
+//   smn_sim --model=broadcast --side=64 --k=32 --radius=0 --seed=1
+//   smn_sim --model=gossip    --side=48 --k=24 --radius=2
+//   smn_sim --model=frog      --side=48 --k=24
+//   smn_sim --model=coverage  --side=48 --k=24
+//   smn_sim --model=dense     --side=32 --k=512 --radius=4 --rho=1
+//   smn_sim --model=predator  --side=48 --k=16 --prey=8 --radius=0
+//   smn_sim --model=churn     --side=48 --k=32 --rate=0.001 --reset=1
+//   smn_sim --model=barrier   --side=48 --k=32 --gap=4
+//   smn_sim --model=cover     --side=48 --k=16
+// Common: --reps=N averages over N seeds derived from --seed; --csv.
+#include <iostream>
+#include <string>
+
+#include "smn.hpp"
+
+namespace {
+
+using namespace smn;
+
+struct RunOutcome {
+    bool completed{false};
+    double value{-1.0};  ///< the model's headline time
+};
+
+RunOutcome run_once(const std::string& model, sim::Args& args, std::uint64_t seed,
+                    std::int64_t side, std::int64_t k, std::int64_t radius) {
+    if (model == "broadcast" || model == "frog") {
+        core::EngineConfig cfg;
+        cfg.side = static_cast<grid::Coord>(side);
+        cfg.k = static_cast<std::int32_t>(k);
+        cfg.radius = radius;
+        cfg.seed = seed;
+        if (model == "frog") cfg.mobility = core::Mobility::kInformedOnly;
+        const auto r = core::run_broadcast(cfg);
+        return {r.completed, static_cast<double>(r.broadcast_time)};
+    }
+    if (model == "gossip") {
+        core::EngineConfig cfg;
+        cfg.side = static_cast<grid::Coord>(side);
+        cfg.k = static_cast<std::int32_t>(k);
+        cfg.radius = radius;
+        cfg.seed = seed;
+        const auto r = core::run_gossip(cfg);
+        return {r.completed, static_cast<double>(r.gossip_time)};
+    }
+    if (model == "coverage") {
+        core::EngineConfig cfg;
+        cfg.side = static_cast<grid::Coord>(side);
+        cfg.k = static_cast<std::int32_t>(k);
+        cfg.radius = radius;
+        cfg.seed = seed;
+        const auto r = models::run_broadcast_with_coverage(cfg);
+        return {r.covered, static_cast<double>(r.coverage_time)};
+    }
+    if (model == "cover") {
+        const auto r = models::run_cover_time(static_cast<grid::Coord>(side),
+                                              static_cast<std::int32_t>(k), seed);
+        return {r.covered, static_cast<double>(r.cover_time)};
+    }
+    if (model == "dense") {
+        models::DenseConfig cfg;
+        cfg.side = static_cast<grid::Coord>(side);
+        cfg.k = static_cast<std::int32_t>(k);
+        cfg.R = radius;
+        cfg.rho = args.get_int("rho", 1);
+        cfg.seed = seed;
+        const auto r = models::run_dense_broadcast(cfg);
+        return {r.completed, static_cast<double>(r.broadcast_time)};
+    }
+    if (model == "predator") {
+        models::PredatorPreyConfig cfg;
+        cfg.side = static_cast<grid::Coord>(side);
+        cfg.predators = static_cast<std::int32_t>(k);
+        cfg.prey = static_cast<std::int32_t>(args.get_int("prey", 8));
+        cfg.catch_radius = radius;
+        cfg.seed = seed;
+        const auto r = models::run_predator_prey(cfg);
+        return {r.extinct, static_cast<double>(r.extinction_time)};
+    }
+    if (model == "churn") {
+        models::ChurnConfig cfg;
+        cfg.side = static_cast<grid::Coord>(side);
+        cfg.k = static_cast<std::int32_t>(k);
+        cfg.churn_rate = args.get_double("rate", 0.001);
+        cfg.reset_knowledge = args.get_int("reset", 1) != 0;
+        cfg.seed = seed;
+        const auto r = models::run_churn_broadcast(cfg, 1 << 26);
+        return {r.completed, static_cast<double>(r.broadcast_time)};
+    }
+    if (model == "barrier") {
+        const auto gap = static_cast<grid::Coord>(args.get_int("gap", 4));
+        const auto s = static_cast<grid::Coord>(side);
+        const auto domain = grid::ObstacleGrid::with_vertical_wall(
+            s, static_cast<grid::Coord>(s / 2), static_cast<grid::Coord>((s - gap) / 2),
+            static_cast<grid::Coord>((s - gap) / 2 + gap));
+        models::BarrierConfig cfg;
+        cfg.side = s;
+        cfg.k = static_cast<std::int32_t>(k);
+        cfg.seed = seed;
+        const auto r = models::run_barrier_broadcast(domain, cfg, 1 << 26);
+        return {r.completed, static_cast<double>(r.broadcast_time)};
+    }
+    throw std::invalid_argument(
+        "unknown --model (want broadcast|frog|gossip|coverage|cover|dense|predator|churn|"
+        "barrier): " +
+        model);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace smn;
+    try {
+        sim::Args args{argc, argv};
+        const auto model = args.get_string("model", "broadcast");
+        const auto side = args.get_int("side", 64);
+        const auto k = args.get_int("k", 32);
+        const auto radius = args.get_int("radius", 0);
+        const int reps = static_cast<int>(args.get_int("reps", 1));
+        const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+        // Model-specific keys are declared lazily inside run_once; declare
+        // them all here too so reject_unknown() accepts them regardless of
+        // model choice.
+        (void)args.get_int("rho", 1);
+        (void)args.get_int("prey", 8);
+        (void)args.get_double("rate", 0.001);
+        (void)args.get_int("reset", 1);
+        (void)args.get_int("gap", 4);
+        args.reject_unknown();
+
+        stats::RunningStats times;
+        int completed = 0;
+        for (int rep = 0; rep < reps; ++rep) {
+            const auto rep_seed =
+                reps == 1 ? seed : rng::replication_seed(seed, static_cast<std::uint64_t>(rep));
+            const auto outcome = run_once(model, args, rep_seed, side, k, radius);
+            if (outcome.completed) {
+                times.add(outcome.value);
+                ++completed;
+            }
+        }
+
+        stats::Table table{{"model", "side", "k", "radius", "completed", "mean time",
+                            "min", "max"}};
+        table.add_row({model, stats::fmt(side), stats::fmt(k), stats::fmt(radius),
+                       stats::fmt(std::int64_t{completed}) + "/" +
+                           stats::fmt(std::int64_t{reps}),
+                       completed > 0 ? stats::fmt(times.mean()) : "-",
+                       completed > 0 ? stats::fmt(times.min()) : "-",
+                       completed > 0 ? stats::fmt(times.max()) : "-"});
+        if (args.csv()) {
+            table.print_csv(std::cout);
+        } else {
+            table.print(std::cout);
+        }
+        return completed > 0 ? 0 : 2;
+    } catch (const std::exception& e) {
+        std::cerr << "smn_sim: " << e.what() << "\n";
+        return 1;
+    }
+}

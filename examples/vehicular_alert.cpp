@@ -1,0 +1,63 @@
+// vehicular_alert — sparse VANET emergency-broadcast scenario (paper
+// intro, [23, 14]).
+//
+// A breakdown on a rural road grid: one vehicle raises an alert that must
+// reach the whole (sparse!) fleet via V2V radio only — no roadside
+// infrastructure. We compare fleet sizes and show the planner's question:
+// "how long until everyone knows?" answered by the paper's law
+// T_B = Θ̃(n/√k): doubling the fleet shaves broadcast time by ~1/√2, while
+// doubling radio power below the percolation point buys almost nothing.
+//
+// The example also shows the epidemic curve's milestones (10% / 50% / 90%
+// informed) and the coverage time — when informed vehicles have traversed
+// every road cell (e.g. to drop hazard flares everywhere).
+//
+// Usage: vehicular_alert [--side=64] [--seed=11] [--radius=0]
+#include <iostream>
+
+#include "core/bounds.hpp"
+#include "core/broadcast.hpp"
+#include "core/epidemic.hpp"
+#include "models/coverage.hpp"
+#include "sim/args.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+    using namespace smn;
+    sim::Args args{argc, argv};
+    const auto side = static_cast<grid::Coord>(args.get_int("side", 64));
+    const auto radius = args.get_int("radius", 0);
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+    args.reject_unknown();
+
+    const std::int64_t n = std::int64_t{side} * side;
+    std::cout << "Vehicular alert on a " << side << "x" << side << " road grid (n = " << n
+              << " cells), V2V radius " << radius << "\n"
+              << "One vehicle raises an alert at t = 0; how fast does the fleet learn?\n\n";
+
+    stats::Table table{{"fleet k", "10% informed", "50%", "90%", "all (T_B)",
+                        "paper n/sqrt(k)", "coverage T_C"}};
+    for (const std::int32_t k : {8, 16, 32, 64, 128}) {
+        core::EngineConfig cfg;
+        cfg.side = side;
+        cfg.k = k;
+        cfg.radius = radius;
+        cfg.seed = seed;
+
+        const auto run = core::run_broadcast(cfg, {.record_series = true});
+        const auto coverage = models::run_broadcast_with_coverage(cfg);
+        const auto ms = core::milestones(run.informed_series, k);
+        table.add_row(
+            {stats::fmt(std::int64_t{k}), stats::fmt(ms.t10), stats::fmt(ms.t50),
+             stats::fmt(ms.t90),
+             run.completed ? stats::fmt(run.broadcast_time) : "timeout",
+             stats::fmt(core::bounds::broadcast_scale(n, k)),
+             coverage.covered ? stats::fmt(coverage.coverage_time) : "timeout"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading: T_B tracks n/sqrt(k) — doubling the fleet cuts alert "
+                 "latency by ~30%.\nThe long 90%->100% tail is the paper's point: the "
+                 "last stragglers must be *met* by a random walk.\n";
+    return 0;
+}

@@ -1,0 +1,80 @@
+// wildlife_tracking — a ZebraNet-style gossip scenario (paper intro, [17]).
+//
+// Sensor collars on animals in a nature reserve each record local
+// observations (one distinct "rumor" per animal). Animals roam like random
+// walkers; collars opportunistically sync *all* stored observations when
+// herds come within radio range — exactly the paper's gossip problem. A
+// ranger can then download the full dataset from ANY single animal once
+// gossip completes.
+//
+// The example sweeps the collar radio range r across the percolation point
+// and reports (a) the gossip completion time T_G and (b) how long until
+// one designated animal ("the one near the waterhole") holds everything —
+// demonstrating the paper's headline: below r_c, extra radio power buys
+// almost nothing; the herd's mixing time dominates.
+//
+// Usage: wildlife_tracking [--side=48] [--herd=24] [--seed=7]
+#include <iostream>
+
+#include "core/gossip.hpp"
+#include "graph/percolation.hpp"
+#include "sim/args.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+    using namespace smn;
+    sim::Args args{argc, argv};
+    const auto side = static_cast<grid::Coord>(args.get_int("side", 48));
+    const auto herd = static_cast<std::int32_t>(args.get_int("herd", 24));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+    args.reject_unknown();
+
+    const std::int64_t n = std::int64_t{side} * side;
+    const double rc = graph::percolation_radius(n, herd);
+
+    std::cout << "Wildlife tracking: " << herd << " collared animals on a " << side << "x"
+              << side << " reserve (n = " << n << " cells)\n"
+              << "Each collar stores its own observations; collars in radio range sync "
+                 "everything they hold.\n"
+              << "Percolation radius r_c = " << stats::fmt(rc, 3) << " cells\n\n";
+
+    stats::Table table{{"radio range r", "r/r_c", "regime", "T_G (sync complete)",
+                        "animal#0 has all at", "slowest obs spread"}};
+    for (const std::int64_t r : {0, 1, 2, 4, 8, 16, 24}) {
+        core::EngineConfig cfg;
+        cfg.side = side;
+        cfg.k = herd;
+        cfg.radius = r;
+        cfg.seed = seed;
+
+        core::GossipProcess gossip{cfg};
+        // Track when animal 0 first knows everything (ranger's download
+        // point) alongside full completion.
+        std::int64_t animal0_done = gossip.rumors().knows_all(0) ? 0 : -1;
+        const std::int64_t cap = 1 << 24;
+        while (!gossip.complete() && gossip.time() < cap) {
+            gossip.step();
+            if (animal0_done < 0 && gossip.rumors().knows_all(0)) {
+                animal0_done = gossip.time();
+            }
+        }
+        std::int64_t slowest = -1;
+        for (std::int32_t m = 0; m < herd; ++m) {
+            slowest = std::max(slowest, gossip.rumor_broadcast_time(m));
+        }
+        table.add_row({stats::fmt(r), stats::fmt(static_cast<double>(r) / rc, 2),
+                       graph::regime_name(graph::classify_regime(n, herd, r)),
+                       gossip.complete() ? stats::fmt(gossip.time()) : "timeout",
+                       animal0_done >= 0 ? stats::fmt(animal0_done) : "timeout",
+                       stats::fmt(slowest)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading: below r_c all radio ranges give the same Theta~(n/sqrt(k)) "
+                 "sync time — the residual\nfactor between rows is the paper's polylog "
+                 "slack (and single-run noise), not a new scaling law.\nHerd mobility, "
+                 "not radio power, is the bottleneck. Above r_c the reserve percolates "
+                 "and syncing\nis near-instant — buying stronger radios only pays off "
+                 "past the percolation point.\n";
+    return 0;
+}

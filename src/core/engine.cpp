@@ -1,0 +1,100 @@
+#include "core/engine.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace smn::core {
+
+namespace {
+
+EngineConfig validate(EngineConfig config) {
+    if (config.side < 1) {
+        throw std::invalid_argument("EngineConfig: side must be >= 1");
+    }
+    if (config.k < 1) {
+        throw std::invalid_argument("EngineConfig: k must be >= 1");
+    }
+    if (config.radius < 0) {
+        throw std::invalid_argument("EngineConfig: radius must be >= 0");
+    }
+    if (config.source < 0 || config.source >= config.k) {
+        throw std::invalid_argument("EngineConfig: source " + std::to_string(config.source) +
+                                    " out of range [0," + std::to_string(config.k) + ")");
+    }
+    return config;
+}
+
+rng::Rng make_rng(const EngineConfig& config) { return rng::Rng{config.seed}; }
+
+walk::AgentEnsemble make_agents(const EngineConfig& config, rng::Rng& rng) {
+    return walk::AgentEnsemble{grid::Grid2D::square(config.side), config.k, rng, config.walk};
+}
+
+}  // namespace
+
+BroadcastProcess::BroadcastProcess(const EngineConfig& config)
+    : config_{validate(config)},
+      rng_{make_rng(config_)},
+      agents_{make_agents(config_, rng_)},
+      builder_{agents_.grid(), config_.radius, config_.metric},
+      dsu_{static_cast<std::size_t>(config_.k)},
+      rumor_{config_.k, config_.source},
+      root_informed_(static_cast<std::size_t>(config_.k), 0),
+      move_mask_(static_cast<std::size_t>(config_.k), 0) {
+    // Initial exchange at t = 0: the rumor floods the source's component
+    // of G_0(r) before anyone moves.
+    builder_.build(agents_.positions(), dsu_);
+    exchange();
+    notify();
+}
+
+void BroadcastProcess::step() {
+    ++t_;
+    if (config_.mobility == Mobility::kAllMove) {
+        agents_.step_all(rng_);
+    } else {
+        // Frog model: agents informed *before* this step's motion walk;
+        // agents informed during this step's exchange start moving next
+        // step. Copy the flags because exchange mutates them.
+        const auto flags = rumor_.flags();
+        std::copy(flags.begin(), flags.end(), move_mask_.begin());
+        agents_.step_subset(rng_, move_mask_);
+    }
+    builder_.build(agents_.positions(), dsu_);
+    exchange();
+    notify();
+}
+
+std::optional<std::int64_t> BroadcastProcess::run_until_complete(std::int64_t max_steps) {
+    while (!complete()) {
+        if (t_ >= max_steps) return std::nullopt;
+        step();
+    }
+    return t_;
+}
+
+void BroadcastProcess::exchange() {
+    // Pass 1: mark components holding at least one informed agent.
+    std::fill(root_informed_.begin(), root_informed_.end(), std::uint8_t{0});
+    const auto k = config_.k;
+    for (std::int32_t a = 0; a < k; ++a) {
+        if (rumor_.is_informed(a)) {
+            root_informed_[static_cast<std::size_t>(dsu_.find(a))] = 1;
+        }
+    }
+    // Pass 2: flood those components.
+    for (std::int32_t a = 0; a < k; ++a) {
+        if (root_informed_[static_cast<std::size_t>(dsu_.find(a))]) {
+            rumor_.inform(a, t_);
+        }
+    }
+}
+
+void BroadcastProcess::notify() {
+    if (observers_.empty()) return;
+    StepView view{
+        .time = t_, .positions = agents_.positions(), .components = dsu_, .rumor = rumor_};
+    for (auto* obs : observers_) obs->on_step(view);
+}
+
+}  // namespace smn::core

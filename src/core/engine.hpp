@@ -1,0 +1,131 @@
+// engine.hpp — the dissemination process of the paper.
+//
+// BroadcastProcess simulates the dynamic communication graph process
+// {G_t(r) | t ≥ 0} of Sec. 2 for a single rumor:
+//
+//   t = 0 : k agents placed uniformly at random; the source knows the
+//           rumor; the rumor floods the source's component of G_0(r).
+//   step  : every agent makes one lazy-walk move (synchronized), the
+//           visibility graph G_t(r) is rebuilt, and every component
+//           containing an informed agent becomes fully informed —
+//           M_a(t) = ∪_{a'∈C} M_{a'}(t−1), the "radio ≫ motion" rule.
+//
+// The broadcast time T_B is the first t with all agents informed.
+//
+// Mobility::kInformedOnly switches to the Frog-model dynamics of Sec. 4
+// (only informed agents move; uninformed agents stay frozen until they are
+// informed). Everything else (exchange rule, observers, termination) is
+// identical, which is exactly how the paper extends its theorems.
+//
+// Observers attach to the loop and see the state after each exchange,
+// including the initial one at t = 0.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/rumor.hpp"
+#include "graph/dsu.hpp"
+#include "graph/visibility.hpp"
+#include "grid/grid.hpp"
+#include "grid/point.hpp"
+#include "rng/rng.hpp"
+#include "walk/ensemble.hpp"
+#include "walk/step.hpp"
+
+namespace smn::core {
+
+/// Which agents move each step.
+enum class Mobility : std::uint8_t {
+    kAllMove,       ///< the paper's main model: all k agents walk
+    kInformedOnly,  ///< Frog model (Sec. 4): only informed agents walk
+};
+
+[[nodiscard]] constexpr const char* mobility_name(Mobility m) noexcept {
+    switch (m) {
+        case Mobility::kAllMove: return "all-move";
+        case Mobility::kInformedOnly: return "frog";
+    }
+    return "?";
+}
+
+/// Full parameterization of a dissemination run.
+struct EngineConfig {
+    grid::Coord side{64};                            ///< grid side; n = side²
+    std::int32_t k{16};                              ///< number of agents
+    std::int64_t radius{0};                          ///< transmission radius r
+    grid::Metric metric{grid::Metric::kManhattan};   ///< paper: Manhattan
+    walk::WalkKind walk{walk::WalkKind::kLazyPaper}; ///< paper: lazy 1/5
+    Mobility mobility{Mobility::kAllMove};
+    std::int32_t source{0};                          ///< source agent id
+    std::uint64_t seed{1};
+
+    /// Number of grid nodes n.
+    [[nodiscard]] std::int64_t n() const noexcept { return std::int64_t{side} * side; }
+};
+
+/// State snapshot passed to observers after each exchange.
+struct StepView {
+    std::int64_t time;                          ///< current t (0 = initial)
+    std::span<const grid::Point> positions;     ///< agent positions at t
+    graph::DisjointSets& components;            ///< partition of G_t(r)
+    const SingleRumor& rumor;                   ///< knowledge state at t
+};
+
+/// Hook into the simulation loop. Observers are non-owning and must
+/// outlive the process they are attached to.
+class Observer {
+public:
+    virtual ~Observer() = default;
+    virtual void on_step(const StepView& view) = 0;
+};
+
+/// Single-rumor dissemination process (broadcast; Frog model via config).
+class BroadcastProcess {
+public:
+    /// Validates the config, places agents, performs the t = 0 exchange.
+    /// Throws std::invalid_argument on k < 1, radius < 0, or source out of
+    /// range.
+    explicit BroadcastProcess(const EngineConfig& config);
+
+    /// Attaches an observer (non-owning). It immediately misses the t = 0
+    /// callback if attached after construction; attach before stepping for
+    /// full series. (run_broadcast handles this for the common cases.)
+    void attach(Observer& observer) { observers_.push_back(&observer); }
+
+    /// Advances the process one time step: move, rebuild G_t(r), exchange.
+    void step();
+
+    /// Steps until all agents are informed or `max_steps` is reached.
+    /// Returns T_B (which may be 0) or nullopt on timeout.
+    std::optional<std::int64_t> run_until_complete(std::int64_t max_steps);
+
+    [[nodiscard]] std::int64_t time() const noexcept { return t_; }
+    [[nodiscard]] bool complete() const noexcept { return rumor_.all_informed(); }
+    [[nodiscard]] const SingleRumor& rumor() const noexcept { return rumor_; }
+    [[nodiscard]] const walk::AgentEnsemble& agents() const noexcept { return agents_; }
+    [[nodiscard]] const grid::Grid2D& grid() const noexcept { return agents_.grid(); }
+    [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+
+    /// The component partition computed at the current time step.
+    [[nodiscard]] graph::DisjointSets& components() noexcept { return dsu_; }
+
+private:
+    void exchange();
+    void notify();
+
+    EngineConfig config_;
+    rng::Rng rng_;
+    walk::AgentEnsemble agents_;
+    graph::VisibilityGraphBuilder builder_;
+    graph::DisjointSets dsu_;
+    SingleRumor rumor_;
+    std::int64_t t_{0};
+    std::vector<Observer*> observers_;
+    std::vector<std::uint8_t> root_informed_;  ///< scratch, size k
+    std::vector<std::uint8_t> move_mask_;      ///< scratch for frog mobility
+};
+
+}  // namespace smn::core

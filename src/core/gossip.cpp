@@ -1,0 +1,114 @@
+#include "core/gossip.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "core/bounds.hpp"
+
+namespace smn::core {
+
+GossipProcess::GossipProcess(const EngineConfig& config)
+    : config_{config},
+      rng_{config.seed},
+      agents_{grid::Grid2D::square(config.side), config.k, rng_, config.walk},
+      builder_{agents_.grid(), config.radius, config.metric},
+      dsu_{static_cast<std::size_t>(config.k)},
+      rumors_{MultiRumorState::one_rumor_per_agent(config.k)},
+      rumor_known_count_(static_cast<std::size_t>(config.k), 1),
+      rumor_complete_time_(static_cast<std::size_t>(config.k), -1),
+      component_or_(static_cast<std::size_t>(config.k) * rumors_.words_per_agent(), 0) {
+    if (config.k < 1) throw std::invalid_argument("GossipProcess: k must be >= 1");
+    if (config.radius < 0) throw std::invalid_argument("GossipProcess: radius must be >= 0");
+    known_pairs_ = config.k;  // each agent knows its own rumor
+    if (config.k == 1) rumor_complete_time_[0] = 0;
+    builder_.build(agents_.positions(), dsu_);
+    exchange();
+}
+
+void GossipProcess::step() {
+    ++t_;
+    agents_.step_all(rng_);
+    builder_.build(agents_.positions(), dsu_);
+    exchange();
+}
+
+std::optional<std::int64_t> GossipProcess::run_until_complete(std::int64_t max_steps) {
+    while (!complete()) {
+        if (t_ >= max_steps) return std::nullopt;
+        step();
+    }
+    return t_;
+}
+
+void GossipProcess::exchange() {
+    const auto k = config_.k;
+    const auto words = rumors_.words_per_agent();
+
+    // Pass 1: OR the rumor sets of each component into its root's slot.
+    touched_roots_.clear();
+    for (std::int32_t a = 0; a < k; ++a) {
+        const auto root = dsu_.find(a);
+        auto* acc = &component_or_[static_cast<std::size_t>(root) * words];
+        if (root == a) touched_roots_.push_back(root);  // every set has its root as a member
+        for (std::size_t w = 0; w < words; ++w) acc[w] |= rumors_.word(a, w);
+    }
+
+    // Pass 2: distribute the union back to every member and account for
+    // newly learned rumors.
+    for (std::int32_t a = 0; a < k; ++a) {
+        const auto root = dsu_.find(a);
+        const auto* acc = &component_or_[static_cast<std::size_t>(root) * words];
+        for (std::size_t w = 0; w < words; ++w) {
+            auto& mine = rumors_.word(a, w);
+            std::uint64_t gained = acc[w] & ~mine;
+            if (gained == 0) continue;
+            mine = acc[w];
+            known_pairs_ += std::popcount(gained);
+            while (gained != 0) {
+                const int bit = std::countr_zero(gained);
+                gained &= gained - 1;
+                const auto r = static_cast<std::size_t>(w * 64 + static_cast<std::size_t>(bit));
+                if (++rumor_known_count_[r] == k && rumor_complete_time_[r] < 0) {
+                    rumor_complete_time_[r] = t_;
+                }
+            }
+        }
+    }
+
+    // Clear the accumulator slots we used (only the roots we touched).
+    for (const auto root : touched_roots_) {
+        auto* acc = &component_or_[static_cast<std::size_t>(root) * words];
+        std::fill(acc, acc + words, std::uint64_t{0});
+    }
+}
+
+GossipResult run_gossip(const EngineConfig& config, std::int64_t max_steps) {
+    GossipResult result;
+    result.config = config;
+    const std::int64_t cap =
+        max_steps >= 0 ? max_steps : bounds::default_max_steps(config.n(), config.k);
+
+    GossipProcess process{config};
+    const auto tg = process.run_until_complete(cap);
+    result.completed = tg.has_value();
+    result.gossip_time = tg.value_or(-1);
+
+    if (result.completed) {
+        std::int64_t max_tb = -1;
+        std::int64_t min_tb = -1;
+        double sum = 0.0;
+        for (std::int32_t r = 0; r < config.k; ++r) {
+            const auto tb = process.rumor_broadcast_time(r);
+            max_tb = std::max(max_tb, tb);
+            min_tb = min_tb < 0 ? tb : std::min(min_tb, tb);
+            sum += static_cast<double>(tb);
+        }
+        result.max_rumor_broadcast_time = max_tb;
+        result.min_rumor_broadcast_time = min_tb;
+        result.mean_rumor_broadcast_time = sum / static_cast<double>(config.k);
+    }
+    return result;
+}
+
+}  // namespace smn::core

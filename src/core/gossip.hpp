@@ -1,0 +1,89 @@
+// gossip.hpp — the gossip (all-to-all) problem of Corollary 2.
+//
+// At t = 0 each of the k agents holds a distinct rumor; the gossip time
+// T_G is the first time every agent knows every rumor. The exchange rule
+// is the same component flooding as broadcast, applied to rumor *sets*:
+// after the step, every member of a component C holds ∪_{a∈C} M_a(t−1).
+// Corollary 2: T_G = Õ(n/√k) — the same scale as a single broadcast,
+// because all k rumors ride the same meetings.
+//
+// GossipProcess also reports per-rumor broadcast times, so one gossip run
+// yields k correlated samples of T_B (used by bench_gossip to show the
+// max-over-rumors behaviour).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/rumor.hpp"
+#include "graph/dsu.hpp"
+#include "graph/visibility.hpp"
+#include "rng/rng.hpp"
+#include "walk/ensemble.hpp"
+
+namespace smn::core {
+
+/// Multi-rumor dissemination process (one rumor per agent initially).
+class GossipProcess {
+public:
+    /// Same config as broadcast; `config.source` is ignored (every agent is
+    /// a source of its own rumor).
+    explicit GossipProcess(const EngineConfig& config);
+
+    /// Advances one time step: move, rebuild G_t(r), exchange rumor sets.
+    void step();
+
+    /// Steps until every agent knows every rumor, or `max_steps`.
+    /// Returns T_G or nullopt on timeout.
+    std::optional<std::int64_t> run_until_complete(std::int64_t max_steps);
+
+    [[nodiscard]] std::int64_t time() const noexcept { return t_; }
+    [[nodiscard]] bool complete() const noexcept {
+        return known_pairs_ == std::int64_t{config_.k} * config_.k;
+    }
+    [[nodiscard]] const MultiRumorState& rumors() const noexcept { return rumors_; }
+    [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+
+    /// First time rumor `r` was known by all agents; −1 if not yet.
+    [[nodiscard]] std::int64_t rumor_broadcast_time(std::int32_t r) const noexcept {
+        return rumor_complete_time_[static_cast<std::size_t>(r)];
+    }
+
+    /// Number of (agent, rumor) pairs currently known — monotone, reaches
+    /// k² at completion.
+    [[nodiscard]] std::int64_t known_pairs() const noexcept { return known_pairs_; }
+
+private:
+    void exchange();
+
+    EngineConfig config_;
+    rng::Rng rng_;
+    walk::AgentEnsemble agents_;
+    graph::VisibilityGraphBuilder builder_;
+    graph::DisjointSets dsu_;
+    MultiRumorState rumors_;
+    std::int64_t t_{0};
+    std::int64_t known_pairs_{0};
+    std::vector<std::int32_t> rumor_known_count_;     ///< per rumor: #agents knowing it
+    std::vector<std::int64_t> rumor_complete_time_;   ///< per rumor: completion time
+    std::vector<std::uint64_t> component_or_;          ///< scratch: per-root OR accumulator
+    std::vector<std::int32_t> touched_roots_;          ///< scratch
+};
+
+/// Result of one gossip replication.
+struct GossipResult {
+    bool completed{false};
+    std::int64_t gossip_time{-1};                 ///< T_G; −1 if the cap was hit
+    std::int64_t max_rumor_broadcast_time{-1};    ///< max_m T_B^m (== T_G when completed)
+    std::int64_t min_rumor_broadcast_time{-1};    ///< fastest rumor's broadcast time
+    double mean_rumor_broadcast_time{0.0};        ///< average over rumors
+    EngineConfig config;
+};
+
+/// Runs a single gossip replication; max_steps = −1 uses the same default
+/// cap as broadcast.
+[[nodiscard]] GossipResult run_gossip(const EngineConfig& config, std::int64_t max_steps = -1);
+
+}  // namespace smn::core

@@ -1,0 +1,139 @@
+// observers.hpp — instrumentation hooks for the dissemination loop.
+//
+// Each observer captures one quantity the paper's analysis reasons about:
+//
+//  * InformedCountObserver — |{a : m ∈ M_a(t)}| per step, the basic
+//                            epidemic curve behind Theorem 1's cell
+//                            argument.
+//  * FrontierObserver      — x(t), the rightmost grid column touched by an
+//                            informed agent (the "informed area" frontier
+//                            of Sec. 3.2); Lemma 7 bounds its speed.
+//  * CoverageObserver      — the set of nodes visited by informed agents;
+//                            its completion time is the coverage time T_C
+//                            of Sec. 4.
+//  * IslandObserver        — maximum component size of G_t(γ) for an
+//                            independently chosen island parameter γ
+//                            (Definition 2); Lemma 6 bounds it by log n.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "graph/visibility.hpp"
+#include "grid/grid.hpp"
+
+namespace smn::core {
+
+/// Records the number of informed agents at every step.
+class InformedCountObserver final : public Observer {
+public:
+    void on_step(const StepView& view) override {
+        series_.push_back(view.rumor.informed_count());
+    }
+
+    /// series()[t] = informed count at time t (index 0 = after the t = 0
+    /// exchange).
+    [[nodiscard]] const std::vector<std::int32_t>& series() const noexcept { return series_; }
+
+private:
+    std::vector<std::int32_t> series_;
+};
+
+/// Records x(t): the largest x-coordinate ever occupied by an informed
+/// agent up to each time t (monotone non-decreasing by construction).
+class FrontierObserver final : public Observer {
+public:
+    void on_step(const StepView& view) override {
+        for (std::int32_t a = 0; a < view.rumor.agent_count(); ++a) {
+            if (view.rumor.is_informed(a)) {
+                const auto x = view.positions[static_cast<std::size_t>(a)].x;
+                if (x > max_x_) max_x_ = x;
+            }
+        }
+        series_.push_back(max_x_);
+    }
+
+    [[nodiscard]] const std::vector<grid::Coord>& series() const noexcept { return series_; }
+
+    /// Largest advance of the frontier over any window of `window` steps.
+    [[nodiscard]] std::int64_t max_window_advance(std::int64_t window) const noexcept {
+        std::int64_t best = 0;
+        const auto len = static_cast<std::int64_t>(series_.size());
+        for (std::int64_t t = 0; t + window < len; ++t) {
+            const std::int64_t adv = std::int64_t{series_[static_cast<std::size_t>(t + window)]} -
+                                     series_[static_cast<std::size_t>(t)];
+            if (adv > best) best = adv;
+        }
+        return best;
+    }
+
+private:
+    grid::Coord max_x_{-1};
+    std::vector<grid::Coord> series_;
+};
+
+/// Tracks the set of grid nodes visited by informed agents; completion is
+/// the coverage time T_C.
+class CoverageObserver final : public Observer {
+public:
+    explicit CoverageObserver(const grid::Grid2D& grid)
+        : grid_{grid}, visited_(static_cast<std::size_t>(grid.size()), 0) {}
+
+    void on_step(const StepView& view) override {
+        for (std::int32_t a = 0; a < view.rumor.agent_count(); ++a) {
+            if (!view.rumor.is_informed(a)) continue;
+            const auto id = grid_.node_id(view.positions[static_cast<std::size_t>(a)]);
+            auto& mark = visited_[static_cast<std::size_t>(id)];
+            if (!mark) {
+                mark = 1;
+                ++covered_;
+                if (covered_ == grid_.size() && coverage_time_ < 0) {
+                    coverage_time_ = view.time;
+                }
+            }
+        }
+    }
+
+    [[nodiscard]] std::int64_t covered_count() const noexcept { return covered_; }
+    [[nodiscard]] bool covered_all() const noexcept { return covered_ == grid_.size(); }
+
+    /// First time every node had been visited by an informed agent; −1 if
+    /// not yet reached.
+    [[nodiscard]] std::int64_t coverage_time() const noexcept { return coverage_time_; }
+
+private:
+    grid::Grid2D grid_;
+    std::vector<std::uint8_t> visited_;
+    std::int64_t covered_{0};
+    std::int64_t coverage_time_{-1};
+};
+
+/// Measures islands (Definition 2): components of G_t(γ) for a caller-
+/// chosen parameter γ, independent of the engine's transmission radius.
+class IslandObserver final : public Observer {
+public:
+    IslandObserver(const grid::Grid2D& grid, std::int64_t gamma,
+                   grid::Metric metric = grid::Metric::kManhattan)
+        : builder_{grid, gamma, metric}, dsu_{0} {}
+
+    void on_step(const StepView& view) override {
+        builder_.build(view.positions, dsu_);
+        const auto stats = graph::component_stats(dsu_);
+        if (stats.max_size > max_island_) max_island_ = stats.max_size;
+        series_.push_back(stats.max_size);
+    }
+
+    /// Largest island observed at any time so far (Lemma 6 bounds this by
+    /// log n w.h.p. for γ = √(n/(4e⁶k))).
+    [[nodiscard]] std::int64_t max_island() const noexcept { return max_island_; }
+    [[nodiscard]] const std::vector<std::int64_t>& series() const noexcept { return series_; }
+
+private:
+    graph::VisibilityGraphBuilder builder_;
+    graph::DisjointSets dsu_;
+    std::int64_t max_island_{0};
+    std::vector<std::int64_t> series_;
+};
+
+}  // namespace smn::core

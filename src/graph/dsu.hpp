@@ -1,0 +1,75 @@
+// dsu.hpp — disjoint-set union (union–find) over agent ids.
+//
+// Used every simulated time step to extract the connected components of
+// the visibility graph G_t(r): agents within range are unioned, then each
+// component floods its rumors. Union by size + path halving gives the
+// usual near-constant amortized cost; `reset()` reuses the allocation.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace smn::graph {
+
+/// Union–find over elements 0..size-1 with union by size.
+class DisjointSets {
+public:
+    explicit DisjointSets(std::size_t size) { reset(size); }
+
+    /// Re-initializes to `size` singleton sets, reusing storage.
+    void reset(std::size_t size) {
+        parent_.resize(size);
+        std::iota(parent_.begin(), parent_.end(), std::int32_t{0});
+        size_.assign(size, 1);
+        set_count_ = size;
+    }
+
+    [[nodiscard]] std::size_t element_count() const noexcept { return parent_.size(); }
+
+    /// Number of disjoint sets currently.
+    [[nodiscard]] std::size_t set_count() const noexcept { return set_count_; }
+
+    /// Representative of x's set (path halving).
+    [[nodiscard]] std::int32_t find(std::int32_t x) noexcept {
+        assert(x >= 0 && static_cast<std::size_t>(x) < parent_.size());
+        while (parent_[static_cast<std::size_t>(x)] != x) {
+            auto& p = parent_[static_cast<std::size_t>(x)];
+            p = parent_[static_cast<std::size_t>(p)];
+            x = p;
+        }
+        return x;
+    }
+
+    /// Merges the sets of a and b; returns true if they were distinct.
+    bool unite(std::int32_t a, std::int32_t b) noexcept {
+        auto ra = find(a);
+        auto rb = find(b);
+        if (ra == rb) return false;
+        if (size_[static_cast<std::size_t>(ra)] < size_[static_cast<std::size_t>(rb)]) {
+            std::swap(ra, rb);
+        }
+        parent_[static_cast<std::size_t>(rb)] = ra;
+        size_[static_cast<std::size_t>(ra)] += size_[static_cast<std::size_t>(rb)];
+        --set_count_;
+        return true;
+    }
+
+    /// True iff a and b are currently in the same set.
+    [[nodiscard]] bool same(std::int32_t a, std::int32_t b) noexcept {
+        return find(a) == find(b);
+    }
+
+    /// Size of the set containing x.
+    [[nodiscard]] std::int32_t size_of(std::int32_t x) noexcept {
+        return size_[static_cast<std::size_t>(find(x))];
+    }
+
+private:
+    std::vector<std::int32_t> parent_;
+    std::vector<std::int32_t> size_;
+    std::size_t set_count_{0};
+};
+
+}  // namespace smn::graph

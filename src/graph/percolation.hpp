@@ -1,0 +1,63 @@
+// percolation.hpp — the paper's radius scales and regime classification.
+//
+// All closed-form radius thresholds appearing in the paper live here:
+//
+//   r_c(n, k)              ≈ √(n/k)                 percolation point (Sec. 1, [24,25])
+//   island γ(n, k)          = √(n/(4e⁶k))           Lemma 6 island parameter
+//   lower-bound radius      = √(n/(64e⁶k))          Theorem 2's largest admissible r
+//
+// plus the regime classifier used by experiments to label a configuration
+// sub-/super-critical.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace smn::graph {
+
+/// Percolation radius r_c ≈ √(n/k): above it G_t(r) has a giant component
+/// w.h.p., below it all components are logarithmic (Sec. 1).
+[[nodiscard]] inline double percolation_radius(std::int64_t n, std::int64_t k) noexcept {
+    return std::sqrt(static_cast<double>(n) / static_cast<double>(k));
+}
+
+/// Island parameter γ = √(n/(4e⁶k)) of Lemma 6: islands of parameter γ
+/// hold at most log n agents w.h.p. over 8n log²n steps.
+[[nodiscard]] inline double island_gamma(std::int64_t n, std::int64_t k) noexcept {
+    const double e6 = std::exp(6.0);
+    return std::sqrt(static_cast<double>(n) / (4.0 * e6 * static_cast<double>(k)));
+}
+
+/// Largest radius for which the Theorem 2 lower bound is proved:
+/// r ≤ √(n/(64e⁶k)) (= γ/4).
+[[nodiscard]] inline double lower_bound_radius(std::int64_t n, std::int64_t k) noexcept {
+    const double e6 = std::exp(6.0);
+    return std::sqrt(static_cast<double>(n) / (64.0 * e6 * static_cast<double>(k)));
+}
+
+/// Regime of a (n, k, r) configuration relative to the percolation point.
+enum class Regime : std::uint8_t {
+    kSubcritical,    ///< r < r_c: sparse, the paper's main setting
+    kNearCritical,   ///< r within ±10% of r_c
+    kSupercritical,  ///< r > r_c: giant component, Peres et al. regime
+};
+
+[[nodiscard]] inline Regime classify_regime(std::int64_t n, std::int64_t k,
+                                            std::int64_t r) noexcept {
+    const double rc = percolation_radius(n, k);
+    const double rr = static_cast<double>(r);
+    if (rr < 0.9 * rc) return Regime::kSubcritical;
+    if (rr > 1.1 * rc) return Regime::kSupercritical;
+    return Regime::kNearCritical;
+}
+
+[[nodiscard]] inline const char* regime_name(Regime regime) noexcept {
+    switch (regime) {
+        case Regime::kSubcritical: return "subcritical";
+        case Regime::kNearCritical: return "near-critical";
+        case Regime::kSupercritical: return "supercritical";
+    }
+    return "?";
+}
+
+}  // namespace smn::graph

@@ -1,0 +1,89 @@
+#include "graph/visibility.hpp"
+
+#include <algorithm>
+
+namespace smn::graph {
+
+VisibilityGraphBuilder::VisibilityGraphBuilder(const grid::Grid2D& grid, std::int64_t radius,
+                                               grid::Metric metric)
+    : grid_{grid},
+      radius_{radius},
+      metric_{metric},
+      occupancy_{grid},
+      buckets_{spatial::BucketIndex::for_radius(grid, radius)} {}
+
+void VisibilityGraphBuilder::build(std::span<const grid::Point> positions, DisjointSets& dsu) {
+    dsu.reset(positions.size());
+    if (radius_ == 0) {
+        // Co-location: union every agent on a node with the node's first
+        // agent; O(k) total.
+        occupancy_.rebuild(positions);
+        for (const auto node : occupancy_.occupied_nodes()) {
+            const auto first = occupancy_.first_at(grid_.point_of(node));
+            occupancy_.for_each_at(grid_.point_of(node),
+                                   [&](std::int32_t a) { dsu.unite(first, a); });
+        }
+        return;
+    }
+    buckets_.rebuild(positions);
+    for (std::size_t a = 0; a < positions.size(); ++a) {
+        const auto self = static_cast<std::int32_t>(a);
+        buckets_.for_each_within(positions[a], radius_, metric_, [&](std::int32_t b) {
+            // Visit each unordered pair once (b < self) to halve the work;
+            // the co-located pair (b == self) is skipped.
+            if (b < self) dsu.unite(self, b);
+        });
+    }
+}
+
+void VisibilityGraphBuilder::build_naive(std::span<const grid::Point> positions,
+                                         std::int64_t radius, grid::Metric metric,
+                                         DisjointSets& dsu) {
+    dsu.reset(positions.size());
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+        for (std::size_t j = i + 1; j < positions.size(); ++j) {
+            if (grid::within(positions[i], positions[j], radius, metric)) {
+                dsu.unite(static_cast<std::int32_t>(i), static_cast<std::int32_t>(j));
+            }
+        }
+    }
+}
+
+ComponentStats component_stats(DisjointSets& dsu) {
+    ComponentStats stats;
+    const auto k = dsu.element_count();
+    if (k == 0) return stats;
+
+    std::vector<std::int64_t> size_of_root(k, 0);
+    for (std::size_t a = 0; a < k; ++a) {
+        ++size_of_root[static_cast<std::size_t>(dsu.find(static_cast<std::int32_t>(a)))];
+    }
+
+    std::int64_t count = 0;
+    std::int64_t max_size = 0;
+    for (const auto s : size_of_root) {
+        if (s == 0) continue;
+        ++count;
+        max_size = std::max(max_size, s);
+    }
+    stats.component_count = count;
+    stats.max_size = max_size;
+    stats.mean_size = static_cast<double>(k) / static_cast<double>(count);
+    stats.largest_fraction = static_cast<double>(max_size) / static_cast<double>(k);
+
+    stats.size_histogram.assign(static_cast<std::size_t>(max_size) + 1, 0);
+    for (const auto s : size_of_root) {
+        if (s > 0) ++stats.size_histogram[static_cast<std::size_t>(s)];
+    }
+    return stats;
+}
+
+std::vector<std::int32_t> component_labels(DisjointSets& dsu) {
+    std::vector<std::int32_t> labels(dsu.element_count());
+    for (std::size_t a = 0; a < labels.size(); ++a) {
+        labels[a] = dsu.find(static_cast<std::int32_t>(a));
+    }
+    return labels;
+}
+
+}  // namespace smn::graph

@@ -1,0 +1,80 @@
+// visibility.hpp — the dynamic communication graph G_t(r).
+//
+// Given the agents' positions at time t and a transmission radius r, the
+// visibility graph has an edge between two agents iff their Manhattan
+// distance is ≤ r (paper Sec. 2; the metric is configurable for ablation).
+// We never materialize edges: the consumers only need *connected
+// components* (rumors flood a component within the step), so the builder
+// unions agents directly into a DisjointSets via the spatial index.
+//
+//  * r = 0  — co-location only; uses OccupancyMap, O(k).
+//  * r ≥ 1  — BucketIndex with bucket side r; expected O(k) below and near
+//             the percolation point.
+//
+// ComponentStats summarizes a partition: component count, maximum size
+// ("islands" of Definition 2 / Lemma 6), size histogram, and the largest
+// component's fraction of all agents (the percolation order parameter).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/dsu.hpp"
+#include "grid/grid.hpp"
+#include "grid/point.hpp"
+#include "spatial/bucket_index.hpp"
+#include "spatial/occupancy.hpp"
+
+namespace smn::graph {
+
+/// Builds connected components of G_t(r) into `dsu` (which is reset).
+/// Reusable across steps: keeps its spatial structures allocated.
+class VisibilityGraphBuilder {
+public:
+    /// `radius` is the transmission radius r >= 0; `metric` defaults to the
+    /// paper's Manhattan metric.
+    VisibilityGraphBuilder(const grid::Grid2D& grid, std::int64_t radius,
+                           grid::Metric metric = grid::Metric::kManhattan);
+
+    /// Computes the components of G_t(r) for the given positions.
+    /// Postcondition: dsu.element_count() == positions.size().
+    void build(std::span<const grid::Point> positions, DisjointSets& dsu);
+
+    [[nodiscard]] std::int64_t radius() const noexcept { return radius_; }
+    [[nodiscard]] grid::Metric metric() const noexcept { return metric_; }
+
+    /// Brute-force O(k²) reference builder used by tests.
+    static void build_naive(std::span<const grid::Point> positions, std::int64_t radius,
+                            grid::Metric metric, DisjointSets& dsu);
+
+private:
+    grid::Grid2D grid_;
+    std::int64_t radius_;
+    grid::Metric metric_;
+    spatial::OccupancyMap occupancy_;  ///< used when radius == 0
+    spatial::BucketIndex buckets_;     ///< used when radius >= 1
+};
+
+/// Summary of a component partition of k agents.
+struct ComponentStats {
+    std::int64_t component_count{0};   ///< number of connected components
+    std::int64_t max_size{0};          ///< largest component ("island") size
+    double mean_size{0.0};             ///< average component size
+    double largest_fraction{0.0};      ///< max_size / k, percolation order parameter
+    std::vector<std::int64_t> size_histogram;  ///< index s → #components of size s (index 0 unused)
+
+    /// Number of isolated agents (components of size 1).
+    [[nodiscard]] std::int64_t singletons() const noexcept {
+        return size_histogram.size() > 1 ? size_histogram[1] : 0;
+    }
+};
+
+/// Computes statistics of the partition currently held by `dsu`.
+[[nodiscard]] ComponentStats component_stats(DisjointSets& dsu);
+
+/// Extracts the component label (root id) of each agent. Labels are root
+/// agent ids, not compacted.
+[[nodiscard]] std::vector<std::int32_t> component_labels(DisjointSets& dsu);
+
+}  // namespace smn::graph

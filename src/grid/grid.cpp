@@ -1,0 +1,15 @@
+#include "grid/grid.hpp"
+
+#include <cmath>
+
+namespace smn::grid {
+
+Grid2D Grid2D::with_at_least(std::int64_t n) {
+    if (n < 1) throw std::invalid_argument("Grid2D::with_at_least: n must be >= 1");
+    auto side = static_cast<Coord>(std::ceil(std::sqrt(static_cast<double>(n))));
+    // Guard against floating-point under-estimation for huge n.
+    while (std::int64_t{side} * side < n) ++side;
+    return Grid2D::square(side);
+}
+
+}  // namespace smn::grid

@@ -1,0 +1,196 @@
+// grid.hpp — the bounded 2-D grid G_n the agents walk on.
+//
+// The paper's domain is an n-node square grid (side √n) with *boundaries*
+// (not a torus): Lemma 1 invokes the reflection principle precisely to deal
+// with walks hitting the boundary. Grid2D supports rectangles as well; the
+// square case is the paper's.
+//
+// Nodes are addressed both as Points and as dense ids in [0, size()), which
+// the simulators use to index per-node arrays (occupancy, visit marks).
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "grid/point.hpp"
+
+namespace smn::grid {
+
+/// Dense node identifier: id = y * width + x, in [0, width*height).
+using NodeId = std::int64_t;
+
+/// Bounded rectangular grid with 4-neighborhood.
+class Grid2D {
+public:
+    /// Maximum degree of any node (interior nodes).
+    static constexpr int kMaxDegree = 4;
+
+    /// Constructs a `width × height` grid. Throws std::invalid_argument if
+    /// either dimension is < 1.
+    Grid2D(Coord width, Coord height)
+        : width_{width}, height_{height} {
+        if (width < 1 || height < 1) {
+            throw std::invalid_argument("Grid2D: dimensions must be >= 1, got " +
+                                        std::to_string(width) + "x" + std::to_string(height));
+        }
+    }
+
+    /// Square grid of `side × side` nodes (the paper's G_n with n = side²).
+    static Grid2D square(Coord side) { return Grid2D{side, side}; }
+
+    /// Smallest square grid with at least `n` nodes (side = ceil(sqrt(n))).
+    static Grid2D with_at_least(std::int64_t n);
+
+    [[nodiscard]] Coord width() const noexcept { return width_; }
+    [[nodiscard]] Coord height() const noexcept { return height_; }
+
+    /// Total number of nodes n.
+    [[nodiscard]] std::int64_t size() const noexcept {
+        return std::int64_t{width_} * height_;
+    }
+
+    /// Graph diameter under the grid (= Manhattan) metric:
+    /// (width−1) + (height−1); the paper quotes 2√n − 2 for the square.
+    [[nodiscard]] std::int64_t diameter() const noexcept {
+        return std::int64_t{width_} - 1 + std::int64_t{height_} - 1;
+    }
+
+    [[nodiscard]] bool contains(Point p) const noexcept {
+        return p.x >= 0 && p.x < width_ && p.y >= 0 && p.y < height_;
+    }
+
+    /// Dense id of a contained point.
+    [[nodiscard]] NodeId node_id(Point p) const noexcept {
+        assert(contains(p));
+        return std::int64_t{p.y} * width_ + p.x;
+    }
+
+    /// Inverse of node_id.
+    [[nodiscard]] Point point_of(NodeId id) const noexcept {
+        assert(id >= 0 && id < size());
+        return Point{static_cast<Coord>(id % width_), static_cast<Coord>(id / width_)};
+    }
+
+    /// Number of grid neighbors of p: 2 (corner), 3 (edge), 4 (interior).
+    /// This is the paper's n_v.
+    [[nodiscard]] int degree(Point p) const noexcept {
+        assert(contains(p));
+        const int horizontal = (p.x > 0) + (p.x + 1 < width_);
+        const int vertical = (p.y > 0) + (p.y + 1 < height_);
+        return horizontal + vertical;
+    }
+
+    /// Writes the neighbors of p into `out` (size >= kMaxDegree) and
+    /// returns how many were written. Order: −x, +x, −y, +y (present ones).
+    int neighbors(Point p, std::span<Point, kMaxDegree> out) const noexcept {
+        assert(contains(p));
+        int count = 0;
+        if (p.x > 0) out[static_cast<std::size_t>(count++)] = Point{static_cast<Coord>(p.x - 1), p.y};
+        if (p.x + 1 < width_) out[static_cast<std::size_t>(count++)] = Point{static_cast<Coord>(p.x + 1), p.y};
+        if (p.y > 0) out[static_cast<std::size_t>(count++)] = Point{p.x, static_cast<Coord>(p.y - 1)};
+        if (p.y + 1 < height_) out[static_cast<std::size_t>(count++)] = Point{p.x, static_cast<Coord>(p.y + 1)};
+        return count;
+    }
+
+    /// True for the 4 corner nodes (degree 2).
+    [[nodiscard]] bool is_corner(Point p) const noexcept { return degree(p) == 2; }
+
+    /// True for non-corner boundary nodes (degree 3).
+    [[nodiscard]] bool is_edge(Point p) const noexcept { return degree(p) == 3; }
+
+    /// True for interior nodes (degree 4).
+    [[nodiscard]] bool is_interior(Point p) const noexcept { return degree(p) == 4; }
+
+    /// Clamps an arbitrary lattice point to the nearest grid node.
+    [[nodiscard]] Point clamp(Point p) const noexcept {
+        const Coord x = p.x < 0 ? 0 : (p.x >= width_ ? static_cast<Coord>(width_ - 1) : p.x);
+        const Coord y = p.y < 0 ? 0 : (p.y >= height_ ? static_cast<Coord>(height_ - 1) : p.y);
+        return Point{x, y};
+    }
+
+    /// Central node (ties broken toward the origin).
+    [[nodiscard]] Point center() const noexcept {
+        return Point{static_cast<Coord>((width_ - 1) / 2), static_cast<Coord>((height_ - 1) / 2)};
+    }
+
+    friend bool operator==(const Grid2D&, const Grid2D&) noexcept = default;
+
+private:
+    Coord width_;
+    Coord height_;
+};
+
+/// Bounded grid with wrap-around (torus) neighborhoods. Not the paper's
+/// domain — provided as an ablation to show boundary effects do not drive
+/// the results (the paper argues this via the reflection principle).
+class Torus2D {
+public:
+    static constexpr int kMaxDegree = 4;
+
+    Torus2D(Coord width, Coord height)
+        : width_{width}, height_{height} {
+        if (width < 1 || height < 1) {
+            throw std::invalid_argument("Torus2D: dimensions must be >= 1");
+        }
+    }
+
+    static Torus2D square(Coord side) { return Torus2D{side, side}; }
+
+    [[nodiscard]] Coord width() const noexcept { return width_; }
+    [[nodiscard]] Coord height() const noexcept { return height_; }
+    [[nodiscard]] std::int64_t size() const noexcept {
+        return std::int64_t{width_} * height_;
+    }
+
+    [[nodiscard]] bool contains(Point p) const noexcept {
+        return p.x >= 0 && p.x < width_ && p.y >= 0 && p.y < height_;
+    }
+
+    [[nodiscard]] NodeId node_id(Point p) const noexcept {
+        assert(contains(p));
+        return std::int64_t{p.y} * width_ + p.x;
+    }
+
+    [[nodiscard]] Point point_of(NodeId id) const noexcept {
+        assert(id >= 0 && id < size());
+        return Point{static_cast<Coord>(id % width_), static_cast<Coord>(id / width_)};
+    }
+
+    /// Every torus node has 4 neighbors (with multiplicity collapsed on
+    /// degenerate 1-wide tori).
+    [[nodiscard]] int degree(Point) const noexcept { return 4; }
+
+    int neighbors(Point p, std::span<Point, kMaxDegree> out) const noexcept {
+        assert(contains(p));
+        const Coord xm = p.x == 0 ? static_cast<Coord>(width_ - 1) : static_cast<Coord>(p.x - 1);
+        const Coord xp = p.x + 1 == width_ ? 0 : static_cast<Coord>(p.x + 1);
+        const Coord ym = p.y == 0 ? static_cast<Coord>(height_ - 1) : static_cast<Coord>(p.y - 1);
+        const Coord yp = p.y + 1 == height_ ? 0 : static_cast<Coord>(p.y + 1);
+        out[0] = Point{xm, p.y};
+        out[1] = Point{xp, p.y};
+        out[2] = Point{p.x, ym};
+        out[3] = Point{p.x, yp};
+        return 4;
+    }
+
+    /// Wrap-aware Manhattan distance on the torus.
+    [[nodiscard]] std::int64_t wrapped_manhattan(Point a, Point b) const noexcept {
+        std::int64_t dx = std::abs(std::int64_t{a.x} - b.x);
+        std::int64_t dy = std::abs(std::int64_t{a.y} - b.y);
+        dx = std::min(dx, width_ - dx);
+        dy = std::min(dy, height_ - dy);
+        return dx + dy;
+    }
+
+    friend bool operator==(const Torus2D&, const Torus2D&) noexcept = default;
+
+private:
+    Coord width_;
+    Coord height_;
+};
+
+}  // namespace smn::grid

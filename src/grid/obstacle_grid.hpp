@@ -1,0 +1,165 @@
+// obstacle_grid.hpp — planar domains with mobility barriers.
+//
+// The paper closes (Sec. 4): "We are working now on extending our modeling
+// and analysis techniques to handle more complex planar domains that
+// include both communication and mobility barriers." ObstacleGrid is that
+// domain: a rectangular grid where a subset of nodes is blocked. Walks
+// cannot enter blocked nodes; because the lazy 1/5 kernel keeps per-edge
+// flow symmetric on ANY subgraph of the grid with max degree 4, the
+// uniform distribution over *open* nodes remains stationary — the paper's
+// key modelling property survives the extension.
+//
+// The interface mirrors Grid2D (same member names), so walk::step<> and
+// the occupancy machinery work unchanged via templates.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "grid/grid.hpp"
+#include "grid/point.hpp"
+#include "rng/rng.hpp"
+
+namespace smn::grid {
+
+/// Bounded grid with blocked ("wall") nodes.
+class ObstacleGrid {
+public:
+    static constexpr int kMaxDegree = 4;
+
+    /// All nodes initially open.
+    ObstacleGrid(Coord width, Coord height)
+        : base_{width, height},
+          blocked_(static_cast<std::size_t>(base_.size()), 0),
+          open_count_{base_.size()} {}
+
+    static ObstacleGrid square(Coord side) { return ObstacleGrid{side, side}; }
+
+    /// Square grid with a vertical wall at column `wall_x`, open only at
+    /// rows [gap_lo, gap_hi). gap_lo == gap_hi seals the wall completely.
+    static ObstacleGrid with_vertical_wall(Coord side, Coord wall_x, Coord gap_lo,
+                                           Coord gap_hi) {
+        if (wall_x < 0 || wall_x >= side) {
+            throw std::invalid_argument("ObstacleGrid: wall_x out of range");
+        }
+        if (gap_lo > gap_hi || gap_lo < 0 || gap_hi > side) {
+            throw std::invalid_argument("ObstacleGrid: bad gap range");
+        }
+        ObstacleGrid g = square(side);
+        for (Coord y = 0; y < side; ++y) {
+            if (y < gap_lo || y >= gap_hi) g.block(Point{wall_x, y});
+        }
+        return g;
+    }
+
+    [[nodiscard]] Coord width() const noexcept { return base_.width(); }
+    [[nodiscard]] Coord height() const noexcept { return base_.height(); }
+
+    /// Node-id space (includes blocked nodes, so dense per-node arrays work).
+    [[nodiscard]] std::int64_t size() const noexcept { return base_.size(); }
+
+    /// Number of open (walkable) nodes.
+    [[nodiscard]] std::int64_t open_count() const noexcept { return open_count_; }
+
+    /// A point is "contained" iff in-bounds AND open.
+    [[nodiscard]] bool contains(Point p) const noexcept {
+        return base_.contains(p) && !blocked_[static_cast<std::size_t>(base_.node_id(p))];
+    }
+
+    [[nodiscard]] bool in_bounds(Point p) const noexcept { return base_.contains(p); }
+    [[nodiscard]] bool is_blocked(Point p) const noexcept {
+        assert(base_.contains(p));
+        return blocked_[static_cast<std::size_t>(base_.node_id(p))] != 0;
+    }
+
+    /// Blocks an in-bounds node (idempotent).
+    void block(Point p) {
+        if (!base_.contains(p)) throw std::invalid_argument("ObstacleGrid::block: off-grid");
+        auto& flag = blocked_[static_cast<std::size_t>(base_.node_id(p))];
+        if (!flag) {
+            flag = 1;
+            --open_count_;
+        }
+    }
+
+    [[nodiscard]] NodeId node_id(Point p) const noexcept { return base_.node_id(p); }
+    [[nodiscard]] Point point_of(NodeId id) const noexcept { return base_.point_of(id); }
+
+    /// Open neighbors only — the walk's transition structure.
+    int neighbors(Point p, std::span<Point, kMaxDegree> out) const noexcept {
+        assert(contains(p));
+        std::array<Point, kMaxDegree> all;  // in-bounds neighbors of the base grid
+        const int total = base_.neighbors(p, std::span<Point, kMaxDegree>{all});
+        int count = 0;
+        for (int i = 0; i < total; ++i) {
+            const auto q = all[static_cast<std::size_t>(i)];
+            if (!blocked_[static_cast<std::size_t>(base_.node_id(q))]) {
+                out[static_cast<std::size_t>(count++)] = q;
+            }
+        }
+        return count;
+    }
+
+    /// Number of open neighbors (the walk's n_v on this domain).
+    [[nodiscard]] int degree(Point p) const noexcept {
+        std::array<Point, kMaxDegree> scratch;
+        return neighbors(p, std::span<Point, kMaxDegree>{scratch});
+    }
+
+    /// Uniformly random open node (rejection sampling; open fraction must
+    /// be positive).
+    [[nodiscard]] Point random_open_node(rng::Rng& rng) const {
+        if (open_count_ == 0) throw std::logic_error("ObstacleGrid: no open nodes");
+        for (;;) {
+            const auto id =
+                static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(base_.size())));
+            if (!blocked_[static_cast<std::size_t>(id)]) return base_.point_of(id);
+        }
+    }
+
+    /// True iff the open region is a single connected component (BFS).
+    [[nodiscard]] bool open_region_connected() const;
+
+    [[nodiscard]] const Grid2D& base() const noexcept { return base_; }
+
+private:
+    Grid2D base_;
+    std::vector<std::uint8_t> blocked_;
+    std::int64_t open_count_;
+};
+
+inline bool ObstacleGrid::open_region_connected() const {
+    if (open_count_ == 0) return true;
+    // Find a seed.
+    NodeId seed = -1;
+    for (NodeId id = 0; id < size(); ++id) {
+        if (!blocked_[static_cast<std::size_t>(id)]) {
+            seed = id;
+            break;
+        }
+    }
+    std::vector<std::uint8_t> seen(static_cast<std::size_t>(size()), 0);
+    std::vector<NodeId> queue{seed};
+    seen[static_cast<std::size_t>(seed)] = 1;
+    std::int64_t reached = 0;
+    std::array<Point, kMaxDegree> nbr;
+    while (!queue.empty()) {
+        const auto id = queue.back();
+        queue.pop_back();
+        ++reached;
+        const int count = neighbors(point_of(id), std::span<Point, kMaxDegree>{nbr});
+        for (int i = 0; i < count; ++i) {
+            const auto next = node_id(nbr[static_cast<std::size_t>(i)]);
+            if (!seen[static_cast<std::size_t>(next)]) {
+                seen[static_cast<std::size_t>(next)] = 1;
+                queue.push_back(next);
+            }
+        }
+    }
+    return reached == open_count_;
+}
+
+}  // namespace smn::grid

@@ -1,0 +1,98 @@
+#include "models/dense_markov.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "spatial/bucket_index.hpp"
+#include "walk/ensemble.hpp"
+
+namespace smn::models {
+
+grid::Point jump_within(const grid::Grid2D& grid, grid::Point p, std::int64_t rho,
+                        rng::Rng& rng) {
+    if (rho == 0) return p;
+    // Rejection-sample a lattice offset in the L1 ball of radius rho
+    // (acceptance ≥ 1/2), then clamp to the grid. Clamping slightly biases
+    // boundary nodes, exactly like the reflecting dynamics of [7]'s
+    // simulations; interior behaviour is uniform as specified.
+    for (;;) {
+        const auto dx = rng.range(-rho, rho);
+        const auto dy = rng.range(-rho, rho);
+        if (std::abs(dx) + std::abs(dy) > rho) continue;
+        return grid.clamp(grid::Point{static_cast<grid::Coord>(p.x + dx),
+                                      static_cast<grid::Coord>(p.y + dy)});
+    }
+}
+
+DenseResult run_dense_broadcast(const DenseConfig& config, std::int64_t max_steps) {
+    if (config.k < 1) throw std::invalid_argument("dense: k must be >= 1");
+    if (config.R < 0 || config.rho < 0) throw std::invalid_argument("dense: R, rho >= 0");
+    if (config.source < 0 || config.source >= config.k) {
+        throw std::invalid_argument("dense: source out of range");
+    }
+
+    const auto grid = grid::Grid2D::square(config.side);
+    rng::Rng rng{config.seed};
+    walk::AgentEnsemble agents{grid, config.k, rng, walk::WalkKind::kLazyPaper};
+
+    const std::int64_t cap =
+        max_steps >= 0
+            ? max_steps
+            : std::max<std::int64_t>(
+                  4096, 256 * (static_cast<std::int64_t>(
+                                   std::sqrt(static_cast<double>(config.n()))) /
+                                   std::max<std::int64_t>(1, config.R) +
+                               64));
+
+    std::vector<std::uint8_t> informed(static_cast<std::size_t>(config.k), 0);
+    informed[static_cast<std::size_t>(config.source)] = 1;
+    std::int32_t informed_count = 1;
+
+    auto index = spatial::BucketIndex::for_radius(grid, config.R);
+    std::vector<std::int32_t> newly;  // agents informed this round
+
+    // One-hop exchange: every agent informed at the *start* of the round
+    // informs all agents within R. Agents informed during the round do not
+    // propagate until the next step (no transitive flooding — the [7]
+    // model). Snapshot the senders first to enforce this.
+    std::vector<std::int32_t> senders;
+    const auto exchange = [&] {
+        index.rebuild(agents.positions());
+        senders.clear();
+        for (std::int32_t a = 0; a < config.k; ++a) {
+            if (informed[static_cast<std::size_t>(a)]) senders.push_back(a);
+        }
+        newly.clear();
+        for (const auto a : senders) {
+            index.for_each_within(agents.position(a), config.R, grid::Metric::kManhattan,
+                                  [&](std::int32_t b) {
+                                      if (!informed[static_cast<std::size_t>(b)]) {
+                                          informed[static_cast<std::size_t>(b)] = 1;
+                                          newly.push_back(b);
+                                      }
+                                  });
+        }
+        informed_count += static_cast<std::int32_t>(newly.size());
+    };
+
+    exchange();  // t = 0
+    std::int64_t t = 0;
+    while (informed_count < config.k && t < cap) {
+        ++t;
+        // (b) every agent jumps within rho ...
+        for (std::int32_t a = 0; a < config.k; ++a) {
+            agents.set_position(a, jump_within(grid, agents.position(a), config.rho, rng));
+        }
+        // ... then (a) one round of R-range exchange.
+        exchange();
+    }
+
+    return DenseResult{
+        .completed = informed_count == config.k,
+        .broadcast_time = informed_count == config.k ? t : -1,
+    };
+}
+
+}  // namespace smn::models

@@ -1,0 +1,26 @@
+// frog.hpp — the Frog model (Sec. 4, refs [3, 18]).
+//
+// Only informed agents move; an uninformed agent stays at its initial node
+// until an informed agent comes within range, at which point it is
+// activated (informed) and starts its own walk. The paper proves the same
+// Θ̃(n/√k) broadcast-time bounds as the fully dynamic model (replacing
+// Lemma 3 by Lemma 1 in the argument).
+//
+// The dynamics are exactly BroadcastProcess with Mobility::kInformedOnly;
+// these wrappers fix the mode and name the result.
+#pragma once
+
+#include "core/broadcast.hpp"
+#include "core/engine.hpp"
+
+namespace smn::models {
+
+/// Runs one Frog-model broadcast replication. The `config.mobility` field
+/// is overridden to kInformedOnly.
+[[nodiscard]] inline core::BroadcastResult run_frog_broadcast(
+    core::EngineConfig config, const core::BroadcastOptions& options = {}) {
+    config.mobility = core::Mobility::kInformedOnly;
+    return core::run_broadcast(config, options);
+}
+
+}  // namespace smn::models

@@ -1,0 +1,60 @@
+#include "rng/rng.hpp"
+
+#include <cassert>
+
+namespace smn::rng {
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+    assert(bound >= 1 && "Rng::below requires bound >= 1");
+    // Lemire 2019, "Fast Random Integer Generation in an Interval".
+    std::uint64_t x = engine_();
+    __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+        const std::uint64_t threshold = (0 - bound) % bound;
+        while (lo < threshold) {
+            x = engine_();
+            m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) noexcept {
+    assert(lo <= hi && "Rng::range requires lo <= hi");
+    const auto width = static_cast<std::uint64_t>(hi - lo) + 1;
+    // width == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+    if (width == 0) return static_cast<std::int64_t>(engine_());
+    return lo + static_cast<std::int64_t>(below(width));
+}
+
+std::vector<std::uint64_t> Rng::sample_without_replacement(std::uint64_t universe,
+                                                           std::size_t count) {
+    assert(count <= universe && "cannot sample more than the universe size");
+    std::vector<std::uint64_t> out;
+    out.reserve(count);
+    if (count == 0) return out;
+
+    // Robert Floyd's algorithm: O(count) expected draws, O(count) memory.
+    // Iterates j over the last `count` values of the universe and inserts
+    // either a random value below j or j itself on collision.
+    for (std::uint64_t j = universe - count; j < universe; ++j) {
+        const std::uint64_t t = below(j + 1);
+        bool seen = false;
+        for (std::uint64_t v : out) {
+            if (v == t) {
+                seen = true;
+                break;
+            }
+        }
+        out.push_back(seen ? j : t);
+    }
+    return out;
+}
+
+std::uint64_t replication_seed(std::uint64_t base, std::uint64_t rep) noexcept {
+    return mix64(base ^ mix64(rep + 0x9E3779B97F4A7C15ULL));
+}
+
+}  // namespace smn::rng

@@ -1,0 +1,75 @@
+#include "sim/args.hpp"
+
+#include <stdexcept>
+
+namespace smn::sim {
+
+Args::Args(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            throw std::invalid_argument("unexpected argument (want --key=value): " + arg);
+        }
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos) {
+            const std::string key = arg.substr(2);
+            if (key == "quick") {
+                quick_ = true;
+            } else if (key == "csv") {
+                csv_ = true;
+            } else {
+                flags_.insert(key);
+            }
+        } else {
+            values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        }
+    }
+}
+
+std::int64_t Args::get_int(const std::string& key, std::int64_t fallback) {
+    known_.insert(key);
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    try {
+        return std::stoll(it->second);
+    } catch (const std::exception&) {
+        throw std::invalid_argument("--" + key + " expects an integer, got '" + it->second + "'");
+    }
+}
+
+double Args::get_double(const std::string& key, double fallback) {
+    known_.insert(key);
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    try {
+        return std::stod(it->second);
+    } catch (const std::exception&) {
+        throw std::invalid_argument("--" + key + " expects a number, got '" + it->second + "'");
+    }
+}
+
+std::string Args::get_string(const std::string& key, const std::string& fallback) {
+    known_.insert(key);
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+}
+
+bool Args::get_flag(const std::string& key) {
+    known_.insert(key);
+    return flags_.count(key) > 0;
+}
+
+void Args::reject_unknown() const {
+    for (const auto& [key, value] : values_) {
+        if (!known_.count(key)) {
+            throw std::invalid_argument("unknown option --" + key + " (value '" + value + "')");
+        }
+    }
+    for (const auto& key : flags_) {
+        if (!known_.count(key)) {
+            throw std::invalid_argument("unknown flag --" + key);
+        }
+    }
+}
+
+}  // namespace smn::sim

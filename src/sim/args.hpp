@@ -1,0 +1,46 @@
+// args.hpp — minimal command-line options for the bench harnesses.
+//
+// Every bench binary accepts `--key=value` overrides plus two flags:
+//   --quick   shrink problem sizes / replication counts (CI smoke mode)
+//   --csv     emit CSV instead of the aligned table
+// Unknown keys throw, so typos fail fast instead of silently running the
+// default experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace smn::sim {
+
+/// Parsed `--key=value` arguments with typed access.
+class Args {
+public:
+    /// Parses argv; throws std::invalid_argument on malformed input.
+    Args(int argc, const char* const* argv);
+
+    /// Declares a key as known and returns its value (or `fallback`).
+    [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback);
+    [[nodiscard]] double get_double(const std::string& key, double fallback);
+    [[nodiscard]] std::string get_string(const std::string& key, const std::string& fallback);
+    [[nodiscard]] bool get_flag(const std::string& key);
+
+    /// True if `--quick` was passed (recognized automatically).
+    [[nodiscard]] bool quick() const noexcept { return quick_; }
+    /// True if `--csv` was passed.
+    [[nodiscard]] bool csv() const noexcept { return csv_; }
+
+    /// Call after all get_* calls: throws if the command line contained
+    /// keys that were never declared.
+    void reject_unknown() const;
+
+private:
+    std::map<std::string, std::string> values_;
+    std::set<std::string> flags_;
+    mutable std::set<std::string> known_;
+    bool quick_{false};
+    bool csv_{false};
+};
+
+}  // namespace smn::sim

@@ -1,0 +1,117 @@
+// bucket_index.hpp — spatial hash for radius queries (r > 0).
+//
+// Buckets the grid into squares of side `bucket_side` and answers "all
+// agents within distance r of p" by scanning the 3×3 block of buckets
+// around p, which is sufficient whenever bucket_side >= r (for every metric
+// we support: L1 ≤ r and L∞ ≤ r and L2 ≤ r all imply per-axis offset ≤ r).
+// Rebuild is O(k) with a dirty-bucket log, mirroring OccupancyMap.
+//
+// This is the workhorse behind visibility-graph construction: the expected
+// occupancy of a bucket at the percolation scale r ≈ √(n/k) is O(1), so
+// building G_t(r) costs O(k) expected per time step.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "grid/grid.hpp"
+#include "grid/point.hpp"
+
+namespace smn::spatial {
+
+/// Spatial hash over a Grid2D with square buckets.
+class BucketIndex {
+public:
+    /// `bucket_side` must be >= 1; radius queries require radius <=
+    /// bucket_side (checked in debug builds).
+    BucketIndex(const grid::Grid2D& grid, grid::Coord bucket_side)
+        : grid_{grid}, side_{bucket_side} {
+        if (bucket_side < 1) {
+            throw std::invalid_argument("BucketIndex: bucket_side must be >= 1");
+        }
+        buckets_x_ = (grid.width() + bucket_side - 1) / bucket_side;
+        buckets_y_ = (grid.height() + bucket_side - 1) / bucket_side;
+        head_.assign(static_cast<std::size_t>(std::int64_t{buckets_x_} * buckets_y_), -1);
+    }
+
+    /// Convenience: index sized for radius-r queries (bucket side max(r,1)).
+    static BucketIndex for_radius(const grid::Grid2D& grid, std::int64_t radius) {
+        const auto side = static_cast<grid::Coord>(std::max<std::int64_t>(radius, 1));
+        return BucketIndex{grid, side};
+    }
+
+    [[nodiscard]] grid::Coord bucket_side() const noexcept { return side_; }
+    [[nodiscard]] grid::Coord buckets_x() const noexcept { return buckets_x_; }
+    [[nodiscard]] grid::Coord buckets_y() const noexcept { return buckets_y_; }
+
+    /// Rebuilds from current agent positions (index = agent id).
+    void rebuild(std::span<const grid::Point> positions) {
+        for (const auto b : dirty_) head_[static_cast<std::size_t>(b)] = -1;
+        dirty_.clear();
+        next_.assign(positions.size(), -1);
+        points_ = positions;
+        for (std::size_t a = 0; a < positions.size(); ++a) {
+            const auto b = bucket_of(positions[a]);
+            auto& head = head_[static_cast<std::size_t>(b)];
+            if (head == -1) dirty_.push_back(b);
+            next_[a] = head;
+            head = static_cast<std::int32_t>(a);
+        }
+    }
+
+    /// Calls `fn(agent_id)` for every agent within distance `radius` of `p`
+    /// under `metric` (including agents exactly at distance radius and any
+    /// agent co-located with p). Requires radius <= bucket_side().
+    template <typename Fn>
+    void for_each_within(grid::Point p, std::int64_t radius, grid::Metric metric,
+                         Fn&& fn) const {
+        assert(radius <= side_ && "BucketIndex bucket_side too small for this radius");
+        const auto bx = p.x / side_;
+        const auto by = p.y / side_;
+        for (grid::Coord cy = std::max<grid::Coord>(0, by - 1);
+             cy <= std::min<grid::Coord>(buckets_y_ - 1, by + 1); ++cy) {
+            for (grid::Coord cx = std::max<grid::Coord>(0, bx - 1);
+                 cx <= std::min<grid::Coord>(buckets_x_ - 1, bx + 1); ++cx) {
+                const auto b = std::int64_t{cy} * buckets_x_ + cx;
+                for (auto a = head_[static_cast<std::size_t>(b)]; a != -1;
+                     a = next_[static_cast<std::size_t>(a)]) {
+                    if (grid::within(p, points_[static_cast<std::size_t>(a)], radius, metric)) {
+                        fn(a);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Brute-force reference for testing: same contract as for_each_within.
+    template <typename Fn>
+    static void for_each_within_naive(std::span<const grid::Point> positions, grid::Point p,
+                                      std::int64_t radius, grid::Metric metric, Fn&& fn) {
+        for (std::size_t a = 0; a < positions.size(); ++a) {
+            if (grid::within(p, positions[a], radius, metric)) {
+                fn(static_cast<std::int32_t>(a));
+            }
+        }
+    }
+
+    [[nodiscard]] std::int64_t bucket_of(grid::Point p) const noexcept {
+        assert(grid_.contains(p));
+        return std::int64_t{p.y / side_} * buckets_x_ + p.x / side_;
+    }
+
+private:
+    grid::Grid2D grid_;
+    grid::Coord side_;
+    grid::Coord buckets_x_{0};
+    grid::Coord buckets_y_{0};
+    std::vector<std::int32_t> head_;
+    std::vector<std::int32_t> next_;
+    std::vector<std::int64_t> dirty_;
+    std::span<const grid::Point> points_;  ///< view of the last rebuild
+};
+
+}  // namespace smn::spatial

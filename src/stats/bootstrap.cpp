@@ -1,0 +1,62 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace smn::stats {
+
+namespace {
+
+template <typename Statistic>
+Interval bootstrap_ci(std::span<const double> sample, double confidence, int resamples,
+                      rng::Rng& rng, Statistic statistic) {
+    assert(!sample.empty());
+    assert(confidence > 0.0 && confidence < 1.0);
+    assert(resamples >= 1);
+
+    std::vector<double> resample(sample.size());
+    std::vector<double> stats;
+    stats.reserve(static_cast<std::size_t>(resamples));
+    for (int b = 0; b < resamples; ++b) {
+        for (auto& x : resample) {
+            x = sample[static_cast<std::size_t>(rng.below(sample.size()))];
+        }
+        stats.push_back(statistic(resample));
+    }
+    std::sort(stats.begin(), stats.end());
+    const double alpha = (1.0 - confidence) / 2.0;
+    const auto idx = [&](double q) {
+        const auto i = static_cast<std::size_t>(q * static_cast<double>(stats.size() - 1));
+        return stats[i];
+    };
+    return Interval{.lo = idx(alpha), .hi = idx(1.0 - alpha)};
+}
+
+double mean_of(std::span<const double> xs) {
+    double s = 0.0;
+    for (const double x : xs) s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double median_of(std::vector<double>& xs) {
+    std::sort(xs.begin(), xs.end());
+    const auto n = xs.size();
+    return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+}  // namespace
+
+Interval bootstrap_mean_ci(std::span<const double> sample, double confidence, int resamples,
+                           rng::Rng& rng) {
+    return bootstrap_ci(sample, confidence, resamples, rng,
+                        [](std::vector<double>& xs) { return mean_of(xs); });
+}
+
+Interval bootstrap_median_ci(std::span<const double> sample, double confidence, int resamples,
+                             rng::Rng& rng) {
+    return bootstrap_ci(sample, confidence, resamples, rng,
+                        [](std::vector<double>& xs) { return median_of(xs); });
+}
+
+}  // namespace smn::stats

@@ -1,0 +1,35 @@
+// bootstrap.hpp — nonparametric bootstrap confidence intervals.
+//
+// Broadcast-time distributions are skewed (they are maxima of meeting
+// times), so normal-approximation intervals are unreliable at the tail.
+// The percentile bootstrap resamples the replication results with
+// replacement and reads the CI off the empirical distribution of the
+// resampled statistic.
+#pragma once
+
+#include <span>
+
+#include "rng/rng.hpp"
+
+namespace smn::stats {
+
+/// A two-sided confidence interval.
+struct Interval {
+    double lo{0.0};
+    double hi{0.0};
+
+    [[nodiscard]] bool contains(double x) const noexcept { return lo <= x && x <= hi; }
+    [[nodiscard]] double width() const noexcept { return hi - lo; }
+};
+
+/// Percentile-bootstrap CI for the mean of `sample` at confidence
+/// `confidence` (e.g. 0.95), using `resamples` bootstrap resamples.
+/// Deterministic given the Rng seed. Requires a non-empty sample.
+[[nodiscard]] Interval bootstrap_mean_ci(std::span<const double> sample, double confidence,
+                                         int resamples, rng::Rng& rng);
+
+/// Percentile-bootstrap CI for the median.
+[[nodiscard]] Interval bootstrap_median_ci(std::span<const double> sample, double confidence,
+                                           int resamples, rng::Rng& rng);
+
+}  // namespace smn::stats

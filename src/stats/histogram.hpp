@@ -1,0 +1,74 @@
+// histogram.hpp — fixed-width binned histogram for distribution shape
+// checks (e.g. the displacement tail of Lemma 2.1 against 2e^{−λ²/2}).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace smn::stats {
+
+/// Histogram over [lo, hi) with `bins` equal-width bins plus underflow and
+/// overflow counters.
+class Histogram {
+public:
+    Histogram(double lo, double hi, int bins) : lo_{lo}, hi_{hi} {
+        if (!(lo < hi) || bins < 1) {
+            throw std::invalid_argument("Histogram: need lo < hi and bins >= 1");
+        }
+        counts_.assign(static_cast<std::size_t>(bins), 0);
+    }
+
+    void add(double x) noexcept {
+        ++total_;
+        if (x < lo_) {
+            ++underflow_;
+        } else if (x >= hi_) {
+            ++overflow_;
+        } else {
+            const auto b = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                                    static_cast<double>(counts_.size()));
+            ++counts_[b < counts_.size() ? b : counts_.size() - 1];
+        }
+    }
+
+    [[nodiscard]] int bins() const noexcept { return static_cast<int>(counts_.size()); }
+    [[nodiscard]] double lo() const noexcept { return lo_; }
+    [[nodiscard]] double hi() const noexcept { return hi_; }
+    [[nodiscard]] std::int64_t total() const noexcept { return total_; }
+    [[nodiscard]] std::int64_t underflow() const noexcept { return underflow_; }
+    [[nodiscard]] std::int64_t overflow() const noexcept { return overflow_; }
+
+    [[nodiscard]] std::int64_t count(int bin) const {
+        return counts_.at(static_cast<std::size_t>(bin));
+    }
+
+    /// Left edge of a bin.
+    [[nodiscard]] double bin_lo(int bin) const noexcept {
+        return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(bins());
+    }
+
+    /// Fraction of all observations at or above `x` (counting overflow).
+    /// Bin-granular: x is rounded down to its bin edge.
+    [[nodiscard]] double tail_fraction(double x) const noexcept {
+        if (total_ == 0) return 0.0;
+        std::int64_t above = overflow_;
+        for (int b = 0; b < bins(); ++b) {
+            if (bin_lo(b) >= x) above += count(b);
+        }
+        if (x <= lo_) above += underflow_;
+        return static_cast<double>(above) / static_cast<double>(total_);
+    }
+
+private:
+    double lo_;
+    double hi_;
+    std::vector<std::int64_t> counts_;
+    std::int64_t underflow_{0};
+    std::int64_t overflow_{0};
+    std::int64_t total_{0};
+};
+
+}  // namespace smn::stats

@@ -1,0 +1,86 @@
+#include "stats/regression.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace smn::stats {
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+    assert(xs.size() == ys.size());
+    LinearFit fit;
+    fit.n = static_cast<std::int64_t>(xs.size());
+    if (xs.size() < 2) return fit;
+
+    const auto n = static_cast<double>(xs.size());
+    double sx = 0.0;
+    double sy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+    }
+    const double mx = sx / n;
+    const double my = sy / n;
+
+    double sxx = 0.0;
+    double sxy = 0.0;
+    double syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0) return fit;
+
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+
+    // Residual sum of squares → R² and slope standard error.
+    double rss = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double resid = ys[i] - fit.at(xs[i]);
+        rss += resid * resid;
+    }
+    fit.r_squared = syy > 0.0 ? 1.0 - rss / syy : 1.0;
+    if (xs.size() > 2) {
+        fit.slope_stderr = std::sqrt(rss / (n - 2.0) / sxx);
+    }
+    return fit;
+}
+
+LinearFit loglog_fit(std::span<const double> xs, std::span<const double> ys) {
+    assert(xs.size() == ys.size());
+    std::vector<double> lx;
+    std::vector<double> ly;
+    lx.reserve(xs.size());
+    ly.reserve(ys.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        assert(xs[i] > 0.0 && ys[i] > 0.0 && "loglog_fit requires positive data");
+        lx.push_back(std::log(xs[i]));
+        ly.push_back(std::log(ys[i]));
+    }
+    return linear_fit(lx, ly);
+}
+
+double log_rms_error_centered(std::span<const double> obs, std::span<const double> pred) {
+    assert(obs.size() == pred.size());
+    if (obs.empty()) return 0.0;
+    // Residuals in log space, with the mean removed (Θ-bounds carry no
+    // multiplicative constant, so only the shape matters).
+    std::vector<double> resid;
+    resid.reserve(obs.size());
+    double mean = 0.0;
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+        assert(obs[i] > 0.0 && pred[i] > 0.0);
+        const double r = std::log(obs[i]) - std::log(pred[i]);
+        resid.push_back(r);
+        mean += r;
+    }
+    mean /= static_cast<double>(resid.size());
+    double ss = 0.0;
+    for (const double r : resid) ss += (r - mean) * (r - mean);
+    return std::sqrt(ss / static_cast<double>(resid.size()));
+}
+
+}  // namespace smn::stats

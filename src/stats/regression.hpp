@@ -1,0 +1,45 @@
+// regression.hpp — ordinary least squares, and log-log power-law fits.
+//
+// The experiments validate scaling laws of the form T = C · x^α (up to
+// polylog factors). LogLogFit regresses log T on log x: the slope estimates
+// α, its standard error gives a confidence band, and R² measures how well a
+// pure power law explains the data. The paper predicts e.g. α ≈ −1/2 for
+// T_B vs k (Theorem 1) and α ≈ −1 for the dense baseline vs R ([7]).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+namespace smn::stats {
+
+/// Result of a simple linear regression y = intercept + slope·x.
+struct LinearFit {
+    double slope{0.0};
+    double intercept{0.0};
+    double slope_stderr{0.0};  ///< standard error of the slope estimate
+    double r_squared{0.0};     ///< coefficient of determination
+    std::int64_t n{0};         ///< number of points used
+
+    /// Predicted y at x.
+    [[nodiscard]] double at(double x) const noexcept { return intercept + slope * x; }
+};
+
+/// OLS fit of y on x. Requires xs.size() == ys.size() and >= 2 points with
+/// non-degenerate x spread; otherwise returns a zero fit with n recorded.
+[[nodiscard]] LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Power-law fit T = C·x^slope via OLS on (log x, log T). All xs and ys
+/// must be strictly positive. `fit.intercept` is log C.
+[[nodiscard]] LinearFit loglog_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Root-mean-square error of predictor values `pred` against observations
+/// `obs` measured in log space: sqrt(mean((log obs − log pred)²)). Used to
+/// compare competing closed-form predictions (e.g. the paper's n/√k versus
+/// [28]'s n·log n·log k/k) against measured broadcast times — scale
+/// constants are first removed by centering, since Θ-bounds carry no
+/// constant.
+[[nodiscard]] double log_rms_error_centered(std::span<const double> obs,
+                                            std::span<const double> pred);
+
+}  // namespace smn::stats

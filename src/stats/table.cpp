@@ -1,0 +1,66 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace smn::stats {
+
+Table::Table(std::vector<std::string> headers) : headers_{std::move(headers)} {
+    if (headers_.empty()) throw std::invalid_argument("Table: need at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    if (cells.size() != headers_.size()) {
+        throw std::invalid_argument("Table: row has " + std::to_string(cells.size()) +
+                                    " cells, expected " + std::to_string(headers_.size()));
+    }
+    rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            width[c] = std::max(width[c], row[c].size());
+        }
+    }
+    const auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::setw(static_cast<int>(width[c])) << row[c];
+            os << (c + 1 < row.size() ? "  " : "\n");
+        }
+    };
+    print_row(headers_);
+    std::size_t total = 0;
+    for (const auto w : width) total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+    const auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c] << (c + 1 < row.size() ? "," : "\n");
+        }
+    };
+    print_row(headers_);
+    for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt(double value, int digits) {
+    std::ostringstream os;
+    os << std::setprecision(digits) << value;
+    return os.str();
+}
+
+std::string fmt(std::int64_t value) { return std::to_string(value); }
+
+std::string fmt_pm(double mean, double err, int digits) {
+    return fmt(mean, digits) + " ± " + fmt(err, std::max(2, digits - 2));
+}
+
+}  // namespace smn::stats

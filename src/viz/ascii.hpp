@@ -1,0 +1,108 @@
+// ascii.hpp — terminal snapshots of the system state.
+//
+// Renders the grid as character art for demos and debugging: informed
+// agents '*', uninformed agents 'o', empty nodes '.', blocked nodes '#'
+// (obstacle domains), with co-located groups shown as their count (2–9,
+// '+' beyond). Grids wider than `max_cols` are downsampled by square
+// blocks (a block shows the "most interesting" content among its nodes:
+// informed > uninformed > blocked > empty).
+//
+// Used by `quickstart --viz`; deliberately header-only and dependency-free.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "grid/grid.hpp"
+#include "grid/obstacle_grid.hpp"
+#include "grid/point.hpp"
+
+namespace smn::viz {
+
+/// Cell states ranked by display priority (higher wins within a block).
+enum class Glyph : std::uint8_t { kEmpty = 0, kBlocked, kUninformed, kInformed };
+
+namespace detail {
+
+inline char glyph_char(Glyph g, int count) {
+    switch (g) {
+        case Glyph::kEmpty: return '.';
+        case Glyph::kBlocked: return '#';
+        case Glyph::kUninformed: return count > 1 ? (count <= 9 ? static_cast<char>('0' + count) : '+') : 'o';
+        case Glyph::kInformed: return count > 1 ? (count <= 9 ? static_cast<char>('0' + count) : '+') : '*';
+    }
+    return '?';
+}
+
+}  // namespace detail
+
+/// Renders agent positions (and optional informed flags / blocked mask)
+/// into a multi-line string. `informed` may be empty (all agents drawn as
+/// uninformed). `blocked_probe(p)` returns true for wall nodes.
+template <typename BlockedFn>
+std::string render(grid::Coord width, grid::Coord height, std::span<const grid::Point> positions,
+                   std::span<const std::uint8_t> informed, BlockedFn&& blocked_probe,
+                   int max_cols = 64) {
+    const int block = std::max(1, (width + max_cols - 1) / max_cols);
+    const int cols = (width + block - 1) / block;
+    const int rows = (height + block - 1) / block;
+
+    std::vector<Glyph> best(static_cast<std::size_t>(cols) * static_cast<std::size_t>(rows),
+                            Glyph::kEmpty);
+    std::vector<int> count(best.size(), 0);
+
+    const auto cell_index = [&](grid::Point p) {
+        return static_cast<std::size_t>(p.y / block) * static_cast<std::size_t>(cols) +
+               static_cast<std::size_t>(p.x / block);
+    };
+
+    // Blocked nodes first (lowest priority above empty).
+    for (grid::Coord y = 0; y < height; ++y) {
+        for (grid::Coord x = 0; x < width; ++x) {
+            if (blocked_probe(grid::Point{x, y})) {
+                auto& g = best[cell_index({x, y})];
+                g = std::max(g, Glyph::kBlocked);
+            }
+        }
+    }
+    // Agents.
+    for (std::size_t a = 0; a < positions.size(); ++a) {
+        const auto idx = cell_index(positions[a]);
+        const bool is_informed = a < informed.size() && informed[a] != 0;
+        best[idx] = std::max(best[idx], is_informed ? Glyph::kInformed : Glyph::kUninformed);
+        ++count[idx];
+    }
+
+    std::string out;
+    out.reserve(static_cast<std::size_t>(rows) * (static_cast<std::size_t>(cols) + 1));
+    // Render top row last so y grows upward (math convention).
+    for (int row = rows - 1; row >= 0; --row) {
+        for (int col = 0; col < cols; ++col) {
+            const auto idx =
+                static_cast<std::size_t>(row) * static_cast<std::size_t>(cols) +
+                static_cast<std::size_t>(col);
+            out.push_back(detail::glyph_char(best[idx], count[idx]));
+        }
+        out.push_back('\n');
+    }
+    return out;
+}
+
+/// Convenience overloads for the two grid types.
+inline std::string render(const grid::Grid2D& grid, std::span<const grid::Point> positions,
+                          std::span<const std::uint8_t> informed = {}, int max_cols = 64) {
+    return render(grid.width(), grid.height(), positions, informed,
+                  [](grid::Point) { return false; }, max_cols);
+}
+
+inline std::string render(const grid::ObstacleGrid& domain,
+                          std::span<const grid::Point> positions,
+                          std::span<const std::uint8_t> informed = {}, int max_cols = 64) {
+    return render(domain.width(), domain.height(), positions, informed,
+                  [&](grid::Point p) { return domain.is_blocked(p); }, max_cols);
+}
+
+}  // namespace smn::viz

@@ -1,0 +1,50 @@
+// diffusion.hpp — diffusion diagnostics for the walk kernels.
+//
+// The paper's analysis is driven by the diffusive behaviour of the lazy
+// walk: displacement ~ √t (Lemma 2). These helpers quantify that directly:
+//
+//  * step_variance — the exact per-step variance E[Δx² + Δy²] of a kernel
+//    at an interior node: 4/5 for the paper's 1/5 rule (each of 4 moves
+//    w.p. 1/5 contributes 1), 1 for the simple walk, 1/2 for lazy-1/2.
+//  * estimate_msd — empirical mean squared (Euclidean) displacement after
+//    t steps; for an interior walk MSD(t) ≈ step_variance · t until the
+//    boundary bites.
+//
+// estimate_msd is used by tests to pin each kernel's diffusion constant
+// and by the ablation analysis to explain constant-factor differences in
+// T_B between kernels (slower diffusion ⇒ proportionally slower meetings).
+#pragma once
+
+#include <cstdint>
+
+#include "grid/grid.hpp"
+#include "rng/rng.hpp"
+#include "walk/step.hpp"
+
+namespace smn::walk {
+
+/// Exact per-step displacement variance E[Δx²+Δy²] at an interior node.
+[[nodiscard]] constexpr double step_variance(WalkKind kind) noexcept {
+    switch (kind) {
+        case WalkKind::kLazyPaper: return 4.0 / 5.0;
+        case WalkKind::kSimple: return 1.0;
+        case WalkKind::kLazyHalf: return 0.5;
+    }
+    return 0.0;  // unreachable
+}
+
+/// Empirical mean squared displacement after `steps` steps, averaged over
+/// `reps` independent walks from `start`.
+[[nodiscard]] inline double estimate_msd(const grid::Grid2D& grid, grid::Point start,
+                                         std::int64_t steps, int reps, rng::Rng& rng,
+                                         WalkKind kind = WalkKind::kLazyPaper) {
+    double total = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+        grid::Point p = start;
+        for (std::int64_t t = 0; t < steps; ++t) p = step(grid, p, rng, kind);
+        total += static_cast<double>(grid::euclidean_sq(start, p));
+    }
+    return total / reps;
+}
+
+}  // namespace smn::walk

@@ -1,0 +1,109 @@
+// ensemble.hpp — a population of k agents walking synchronously on a grid.
+//
+// AgentEnsemble owns the positions of the k agents and advances them one
+// synchronized step at a time, exactly as in the paper's model (Sec. 2):
+// all agents move simultaneously and independently. Initial placement is
+// uniform and independent over the grid nodes.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "grid/grid.hpp"
+#include "grid/point.hpp"
+#include "rng/rng.hpp"
+#include "walk/step.hpp"
+
+namespace smn::walk {
+
+/// Index of an agent in [0, k).
+using AgentId = std::int32_t;
+
+/// k agents on a Grid2D, stepped synchronously.
+class AgentEnsemble {
+public:
+    /// Creates k agents placed uniformly and independently at random.
+    /// Throws std::invalid_argument if k < 1.
+    AgentEnsemble(const grid::Grid2D& grid, std::int32_t k, rng::Rng& rng,
+                  WalkKind kind = WalkKind::kLazyPaper)
+        : grid_{grid}, kind_{kind} {
+        if (k < 1) throw std::invalid_argument("AgentEnsemble: k must be >= 1");
+        positions_.reserve(static_cast<std::size_t>(k));
+        for (std::int32_t i = 0; i < k; ++i) {
+            positions_.push_back(random_node(grid, rng));
+        }
+    }
+
+    /// Creates agents at caller-chosen positions (each must be on the grid).
+    AgentEnsemble(const grid::Grid2D& grid, std::vector<grid::Point> positions,
+                  WalkKind kind = WalkKind::kLazyPaper)
+        : grid_{grid}, positions_{std::move(positions)}, kind_{kind} {
+        if (positions_.empty()) {
+            throw std::invalid_argument("AgentEnsemble: need at least one agent");
+        }
+        for (const auto& p : positions_) {
+            if (!grid_.contains(p)) {
+                throw std::invalid_argument("AgentEnsemble: initial position off-grid");
+            }
+        }
+    }
+
+    /// Uniformly random grid node.
+    [[nodiscard]] static grid::Point random_node(const grid::Grid2D& grid, rng::Rng& rng) {
+        const auto id = static_cast<grid::NodeId>(rng.below(static_cast<std::uint64_t>(grid.size())));
+        return grid.point_of(id);
+    }
+
+    /// Number of agents k.
+    [[nodiscard]] std::int32_t count() const noexcept {
+        return static_cast<std::int32_t>(positions_.size());
+    }
+
+    [[nodiscard]] const grid::Grid2D& grid() const noexcept { return grid_; }
+    [[nodiscard]] WalkKind kind() const noexcept { return kind_; }
+
+    [[nodiscard]] grid::Point position(AgentId a) const noexcept {
+        assert(a >= 0 && a < count());
+        return positions_[static_cast<std::size_t>(a)];
+    }
+
+    /// Read-only view of all positions (index = agent id).
+    [[nodiscard]] std::span<const grid::Point> positions() const noexcept { return positions_; }
+
+    /// Moves one agent (used by models where only a subset moves, e.g. the
+    /// Frog model).
+    void set_position(AgentId a, grid::Point p) noexcept {
+        assert(a >= 0 && a < count() && grid_.contains(p));
+        positions_[static_cast<std::size_t>(a)] = p;
+    }
+
+    /// Advances every agent by one synchronized step.
+    void step_all(rng::Rng& rng) noexcept {
+        for (auto& p : positions_) p = step(grid_, p, rng, kind_);
+    }
+
+    /// Advances only the agents for which `should_move[a]` is true; the
+    /// others stay frozen (Frog-model dynamics, Sec. 4).
+    void step_subset(rng::Rng& rng, std::span<const std::uint8_t> should_move) noexcept {
+        assert(should_move.size() == positions_.size());
+        for (std::size_t i = 0; i < positions_.size(); ++i) {
+            if (should_move[i]) positions_[i] = step(grid_, positions_[i], rng, kind_);
+        }
+    }
+
+    /// Advances a single agent by one step.
+    void step_one(AgentId a, rng::Rng& rng) noexcept {
+        auto& p = positions_[static_cast<std::size_t>(a)];
+        p = step(grid_, p, rng, kind_);
+    }
+
+private:
+    grid::Grid2D grid_;
+    std::vector<grid::Point> positions_;
+    WalkKind kind_;
+};
+
+}  // namespace smn::walk

@@ -1,0 +1,38 @@
+#include "walk/meeting.hpp"
+
+namespace smn::walk {
+
+HitResult hit_within(const grid::Grid2D& grid, grid::Point start, grid::Point target,
+                     std::int64_t max_steps, rng::Rng& rng, WalkKind kind) {
+    if (start == target) return HitResult{.hit = true, .hit_time = 0};
+    grid::Point p = start;
+    for (std::int64_t t = 1; t <= max_steps; ++t) {
+        p = step(grid, p, rng, kind);
+        if (p == target) return HitResult{.hit = true, .hit_time = t};
+    }
+    return HitResult{};
+}
+
+MeetResult meet_within(const grid::Grid2D& grid, grid::Point a0, grid::Point b0,
+                       std::int64_t max_steps, rng::Rng& rng, WalkKind kind) {
+    const std::int64_t d = grid::manhattan(a0, b0);
+    const auto in_lens = [&](grid::Point x) {
+        return grid::manhattan(x, a0) <= d && grid::manhattan(x, b0) <= d;
+    };
+    if (a0 == b0) {
+        return MeetResult{.met = true, .met_in_lens = true, .meet_time = 0, .meet_node = a0};
+    }
+    grid::Point a = a0;
+    grid::Point b = b0;
+    for (std::int64_t t = 1; t <= max_steps; ++t) {
+        a = step(grid, a, rng, kind);
+        b = step(grid, b, rng, kind);
+        if (a == b) {
+            return MeetResult{
+                .met = true, .met_in_lens = in_lens(a), .meet_time = t, .meet_node = a};
+        }
+    }
+    return MeetResult{};
+}
+
+}  // namespace smn::walk

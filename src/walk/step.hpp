@@ -1,0 +1,81 @@
+// step.hpp — single-step kernels for random walks on the grid.
+//
+// The paper's mobility model (Sec. 2): at each synchronized time step an
+// agent at node v with n_v ∈ {2,3,4} neighbors moves to each neighbor with
+// probability 1/5 and stays put with probability 1 − n_v/5. This choice
+// makes the uniform distribution over nodes *stationary* (each directed
+// edge carries flow 1/(5n) both ways), which the analysis leans on ("at any
+// time step the agents are placed uniformly and independently at random").
+//
+// Two ablation kernels are provided:
+//  * kSimple    — classic simple random walk (uniform over neighbors, never
+//                 stays): stationary distribution proportional to degree.
+//  * kLazyHalf  — stay with probability 1/2, else uniform neighbor: the
+//                 standard lazy walk used e.g. by cover-time literature.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "grid/grid.hpp"
+#include "grid/point.hpp"
+#include "rng/rng.hpp"
+
+namespace smn::walk {
+
+/// Selects the single-step transition rule.
+enum class WalkKind : std::uint8_t {
+    kLazyPaper,  ///< paper's rule: each neighbor w.p. 1/5, stay otherwise
+    kSimple,     ///< uniform neighbor, never stays
+    kLazyHalf,   ///< stay w.p. 1/2, else uniform neighbor
+};
+
+[[nodiscard]] constexpr const char* walk_kind_name(WalkKind kind) noexcept {
+    switch (kind) {
+        case WalkKind::kLazyPaper: return "lazy-1/5";
+        case WalkKind::kSimple: return "simple";
+        case WalkKind::kLazyHalf: return "lazy-1/2";
+    }
+    return "?";
+}
+
+/// Performs one step of the selected walk from `p` on `grid`.
+template <typename GridT>
+[[nodiscard]] inline grid::Point step(const GridT& grid, grid::Point p, rng::Rng& rng,
+                                      WalkKind kind = WalkKind::kLazyPaper) noexcept {
+    std::array<grid::Point, GridT::kMaxDegree> nbr;  // filled below
+    const int deg = grid.neighbors(p, std::span<grid::Point, GridT::kMaxDegree>{nbr});
+    switch (kind) {
+        case WalkKind::kLazyPaper: {
+            // Draw u uniform in {0..4}; u < deg selects a neighbor (each
+            // with probability exactly 1/5), otherwise stay.
+            const auto u = rng.below(5);
+            return u < static_cast<std::uint64_t>(deg) ? nbr[static_cast<std::size_t>(u)] : p;
+        }
+        case WalkKind::kSimple: {
+            const auto u = rng.below(static_cast<std::uint64_t>(deg));
+            return nbr[static_cast<std::size_t>(u)];
+        }
+        case WalkKind::kLazyHalf: {
+            const auto u = rng.below(static_cast<std::uint64_t>(2 * deg));
+            return u < static_cast<std::uint64_t>(deg) ? nbr[static_cast<std::size_t>(u)] : p;
+        }
+    }
+    return p;  // unreachable
+}
+
+/// Probability that the selected walk stays put at `p` (for tests and
+/// analytical cross-checks).
+template <typename GridT>
+[[nodiscard]] inline double stay_probability(const GridT& grid, grid::Point p,
+                                             WalkKind kind) noexcept {
+    const int deg = grid.degree(p);
+    switch (kind) {
+        case WalkKind::kLazyPaper: return 1.0 - static_cast<double>(deg) / 5.0;
+        case WalkKind::kSimple: return 0.0;
+        case WalkKind::kLazyHalf: return 0.5;
+    }
+    return 0.0;  // unreachable
+}
+
+}  // namespace smn::walk

@@ -1,0 +1,193 @@
+// churn_test.cpp — broadcast under agent churn, and CellReachObserver.
+#include <gtest/gtest.h>
+
+#include "core/cell_observer.hpp"
+#include "core/engine.hpp"
+#include "models/churn.hpp"
+
+namespace smn {
+namespace {
+
+// ----------------------------------------------------------- ChurnBroadcast
+
+TEST(Churn, RejectsBadConfig) {
+    models::ChurnConfig cfg;
+    cfg.k = 0;
+    EXPECT_THROW(models::ChurnBroadcast{cfg}, std::invalid_argument);
+    cfg = {};
+    cfg.churn_rate = -0.1;
+    EXPECT_THROW(models::ChurnBroadcast{cfg}, std::invalid_argument);
+    cfg = {};
+    cfg.churn_rate = 1.5;
+    EXPECT_THROW(models::ChurnBroadcast{cfg}, std::invalid_argument);
+}
+
+TEST(Churn, ZeroChurnBehavesLikePlainBroadcast) {
+    models::ChurnConfig cfg;
+    cfg.side = 10;
+    cfg.k = 6;
+    cfg.churn_rate = 0.0;
+    cfg.seed = 1;
+    const auto result = models::run_churn_broadcast(cfg, 1 << 24);
+    EXPECT_TRUE(result.completed);
+    EXPECT_FALSE(result.extinct);
+    EXPECT_EQ(result.replacements, 0);
+}
+
+TEST(Churn, RelocationChurnAlwaysCompletes) {
+    models::ChurnConfig cfg;
+    cfg.side = 12;
+    cfg.k = 8;
+    cfg.churn_rate = 0.01;
+    cfg.reset_knowledge = false;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        cfg.seed = seed;
+        const auto result = models::run_churn_broadcast(cfg, 1 << 24);
+        EXPECT_TRUE(result.completed) << seed;
+        EXPECT_GT(result.replacements, 0);
+    }
+}
+
+TEST(Churn, FullResetChurnGoesExtinctFast) {
+    // churn_rate = 1 with knowledge reset: every agent (including every
+    // informed one) is replaced each step; unless a co-location rescue
+    // happens instantly the rumor dies.
+    models::ChurnConfig cfg;
+    cfg.side = 20;
+    cfg.k = 4;
+    cfg.churn_rate = 1.0;
+    cfg.reset_knowledge = true;
+    int extinct = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        cfg.seed = seed;
+        const auto result = models::run_churn_broadcast(cfg, 10000);
+        extinct += result.extinct;
+    }
+    EXPECT_GE(extinct, 8);  // overwhelmingly extinction
+}
+
+TEST(Churn, TerminatesWithEitherOutcome) {
+    models::ChurnConfig cfg;
+    cfg.side = 14;
+    cfg.k = 6;
+    cfg.churn_rate = 0.003;
+    cfg.reset_knowledge = true;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        cfg.seed = seed;
+        const auto result = models::run_churn_broadcast(cfg, 1 << 24);
+        EXPECT_TRUE(result.completed || result.extinct) << seed;
+        EXPECT_NE(result.completed && result.extinct, true);
+        if (result.completed) {
+            EXPECT_GE(result.broadcast_time, 0);
+        }
+        if (result.extinct) {
+            EXPECT_GE(result.extinction_time, 0);
+        }
+    }
+}
+
+TEST(Churn, RelocationChurnSpeedsBroadcastOnAverage) {
+    models::ChurnConfig cfg;
+    cfg.side = 20;
+    cfg.k = 8;
+    cfg.reset_knowledge = false;
+    double slow_total = 0.0;
+    double fast_total = 0.0;
+    constexpr int kReps = 10;
+    for (std::uint64_t seed = 1; seed <= kReps; ++seed) {
+        cfg.seed = seed;
+        cfg.churn_rate = 0.0;
+        slow_total += static_cast<double>(
+            models::run_churn_broadcast(cfg, 1 << 26).broadcast_time);
+        cfg.churn_rate = 0.05;
+        fast_total += static_cast<double>(
+            models::run_churn_broadcast(cfg, 1 << 26).broadcast_time);
+    }
+    EXPECT_LT(fast_total, slow_total);
+}
+
+TEST(Churn, DeterministicGivenSeed) {
+    models::ChurnConfig cfg;
+    cfg.side = 12;
+    cfg.k = 5;
+    cfg.churn_rate = 0.01;
+    cfg.seed = 42;
+    const auto a = models::run_churn_broadcast(cfg, 1 << 24);
+    const auto b = models::run_churn_broadcast(cfg, 1 << 24);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.broadcast_time, b.broadcast_time);
+    EXPECT_EQ(a.replacements, b.replacements);
+}
+
+// -------------------------------------------------------- CellReachObserver
+
+TEST(CellReach, TracksSourceCellAtTimeZero) {
+    core::EngineConfig cfg;
+    cfg.side = 16;
+    cfg.k = 8;
+    cfg.seed = 3;
+    core::BroadcastProcess process{cfg};
+    core::CellReachObserver cells{process.grid(), 4};
+    cells.on_step(core::StepView{.time = 0,
+                                 .positions = process.agents().positions(),
+                                 .components = process.components(),
+                                 .rumor = process.rumor()});
+    EXPECT_GE(cells.reached_count(), 1);
+    EXPECT_GE(cells.source_cell(), 0);
+    EXPECT_EQ(cells.reach_time(cells.source_cell()), 0);
+}
+
+TEST(CellReach, EventuallyReachesAllCells) {
+    core::EngineConfig cfg;
+    cfg.side = 12;
+    cfg.k = 8;
+    cfg.seed = 4;
+    core::BroadcastProcess process{cfg};
+    core::CellReachObserver cells{process.grid(), 4};
+    process.attach(cells);
+    for (int t = 0; t < 200000 && !cells.all_reached(); ++t) process.step();
+    EXPECT_TRUE(cells.all_reached());
+    EXPECT_GE(cells.all_reached_time(), 0);
+    for (grid::CellId c = 0; c < cells.tessellation().cell_count(); ++c) {
+        EXPECT_GE(cells.reach_time(c), 0);
+        EXPECT_LE(cells.reach_time(c), cells.all_reached_time());
+    }
+}
+
+TEST(CellReach, ReachTimesRoughlyIncreaseWithDistance) {
+    core::EngineConfig cfg;
+    cfg.side = 32;
+    cfg.k = 16;
+    cfg.seed = 5;
+    core::BroadcastProcess process{cfg};
+    core::CellReachObserver cells{process.grid(), 8};
+    cells.on_step(core::StepView{.time = 0,
+                                 .positions = process.agents().positions(),
+                                 .components = process.components(),
+                                 .rumor = process.rumor()});
+    process.attach(cells);
+    for (int t = 0; t < 500000 && !cells.all_reached(); ++t) process.step();
+    ASSERT_TRUE(cells.all_reached());
+    // The wavefront: the nearest ring is reached before the farthest ring.
+    const auto max_d = cells.max_cell_distance();
+    ASSERT_GE(max_d, 2);
+    EXPECT_LE(cells.mean_reach_at_distance(0), cells.mean_reach_at_distance(max_d));
+}
+
+TEST(CellReach, MeanReachAtUnreachedDistanceIsNegative) {
+    core::EngineConfig cfg;
+    cfg.side = 16;
+    cfg.k = 4;
+    cfg.seed = 6;
+    core::BroadcastProcess process{cfg};
+    core::CellReachObserver cells{process.grid(), 4};
+    cells.on_step(core::StepView{.time = 0,
+                                 .positions = process.agents().positions(),
+                                 .components = process.components(),
+                                 .rumor = process.rumor()});
+    // Only the t = 0 snapshot: distant rings are unreached.
+    EXPECT_LT(cells.mean_reach_at_distance(cells.max_cell_distance()), 0.0);
+}
+
+}  // namespace
+}  // namespace smn

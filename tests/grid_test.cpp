@@ -1,0 +1,310 @@
+// grid_test.cpp — Grid2D, Torus2D, Point metrics, Tessellation.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "grid/grid.hpp"
+#include "grid/point.hpp"
+#include "grid/tessellation.hpp"
+
+namespace smn::grid {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Point, ManhattanBasics) {
+    EXPECT_EQ(manhattan({0, 0}, {0, 0}), 0);
+    EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+    EXPECT_EQ(manhattan({-2, 5}, {1, 1}), 7);
+    EXPECT_EQ(manhattan({3, 4}, {0, 0}), 7);  // symmetry
+}
+
+TEST(Point, ChebyshevBasics) {
+    EXPECT_EQ(chebyshev({0, 0}, {3, 4}), 4);
+    EXPECT_EQ(chebyshev({0, 0}, {5, 2}), 5);
+    EXPECT_EQ(chebyshev({1, 1}, {1, 1}), 0);
+}
+
+TEST(Point, EuclideanSqBasics) {
+    EXPECT_EQ(euclidean_sq({0, 0}, {3, 4}), 25);
+    EXPECT_EQ(euclidean_sq({-1, -1}, {2, 3}), 25);
+}
+
+TEST(Point, MetricTriangleInequalityManhattan) {
+    const Point a{0, 0}, b{5, -3}, c{-2, 7};
+    EXPECT_LE(manhattan(a, c), manhattan(a, b) + manhattan(b, c));
+}
+
+TEST(Point, WithinRespectsEachMetric) {
+    const Point a{0, 0}, b{3, 4};
+    // L1 = 7, L∞ = 4, L2 = 5.
+    EXPECT_FALSE(within(a, b, 6, Metric::kManhattan));
+    EXPECT_TRUE(within(a, b, 7, Metric::kManhattan));
+    EXPECT_FALSE(within(a, b, 3, Metric::kChebyshev));
+    EXPECT_TRUE(within(a, b, 4, Metric::kChebyshev));
+    EXPECT_FALSE(within(a, b, 4, Metric::kEuclidean));
+    EXPECT_TRUE(within(a, b, 5, Metric::kEuclidean));
+}
+
+TEST(Point, DistanceMatchesWithinAtThreshold) {
+    const Point a{2, 2}, b{7, 9};
+    for (const auto metric : {Metric::kManhattan, Metric::kChebyshev, Metric::kEuclidean}) {
+        const auto d = distance(a, b, metric);
+        EXPECT_TRUE(within(a, b, d + 1, metric)) << metric_name(metric);
+        EXPECT_FALSE(within(a, b, d - 2, metric)) << metric_name(metric);
+    }
+}
+
+TEST(Point, MetricNames) {
+    EXPECT_STREQ(metric_name(Metric::kManhattan), "manhattan");
+    EXPECT_STREQ(metric_name(Metric::kChebyshev), "chebyshev");
+    EXPECT_STREQ(metric_name(Metric::kEuclidean), "euclidean");
+}
+
+// ---------------------------------------------------------------- Grid2D
+
+TEST(Grid2D, RejectsBadDimensions) {
+    EXPECT_THROW(Grid2D(0, 5), std::invalid_argument);
+    EXPECT_THROW(Grid2D(5, 0), std::invalid_argument);
+    EXPECT_THROW(Grid2D(-1, 3), std::invalid_argument);
+}
+
+TEST(Grid2D, SizeAndDiameter) {
+    const auto g = Grid2D::square(10);
+    EXPECT_EQ(g.size(), 100);
+    EXPECT_EQ(g.diameter(), 18);  // 2*sqrt(n) - 2
+    const Grid2D r{4, 7};
+    EXPECT_EQ(r.size(), 28);
+    EXPECT_EQ(r.diameter(), 9);
+}
+
+TEST(Grid2D, WithAtLeastCoversRequest) {
+    for (std::int64_t n : {1, 2, 10, 100, 101, 4096, 5000}) {
+        const auto g = Grid2D::with_at_least(n);
+        EXPECT_GE(g.size(), n);
+        EXPECT_EQ(g.width(), g.height());
+        // Minimality: one side smaller would not fit.
+        const auto s = g.width();
+        if (s > 1) {
+            EXPECT_LT(std::int64_t{s - 1} * (s - 1), n);
+        }
+    }
+}
+
+TEST(Grid2D, ContainsBoundaries) {
+    const auto g = Grid2D::square(5);
+    EXPECT_TRUE(g.contains({0, 0}));
+    EXPECT_TRUE(g.contains({4, 4}));
+    EXPECT_FALSE(g.contains({5, 0}));
+    EXPECT_FALSE(g.contains({0, -1}));
+}
+
+TEST(Grid2D, NodeIdRoundTrip) {
+    const Grid2D g{7, 5};
+    for (Coord y = 0; y < 5; ++y) {
+        for (Coord x = 0; x < 7; ++x) {
+            const Point p{x, y};
+            EXPECT_EQ(g.point_of(g.node_id(p)), p);
+        }
+    }
+}
+
+TEST(Grid2D, NodeIdsAreDenseAndUnique) {
+    const Grid2D g{6, 4};
+    std::set<NodeId> ids;
+    for (Coord y = 0; y < 4; ++y) {
+        for (Coord x = 0; x < 6; ++x) {
+            const auto id = g.node_id({x, y});
+            EXPECT_GE(id, 0);
+            EXPECT_LT(id, g.size());
+            ids.insert(id);
+        }
+    }
+    EXPECT_EQ(static_cast<std::int64_t>(ids.size()), g.size());
+}
+
+TEST(Grid2D, DegreeClassification) {
+    const auto g = Grid2D::square(5);
+    // The paper's n_v ∈ {2, 3, 4}.
+    EXPECT_EQ(g.degree({0, 0}), 2);
+    EXPECT_EQ(g.degree({4, 4}), 2);
+    EXPECT_EQ(g.degree({2, 0}), 3);
+    EXPECT_EQ(g.degree({0, 3}), 3);
+    EXPECT_EQ(g.degree({2, 2}), 4);
+    EXPECT_TRUE(g.is_corner({0, 4}));
+    EXPECT_TRUE(g.is_edge({1, 0}));
+    EXPECT_TRUE(g.is_interior({1, 1}));
+}
+
+TEST(Grid2D, DegreeMatchesNeighborCount) {
+    const Grid2D g{6, 3};
+    std::array<Point, Grid2D::kMaxDegree> nbr;
+    for (Coord y = 0; y < 3; ++y) {
+        for (Coord x = 0; x < 6; ++x) {
+            const Point p{x, y};
+            const int cnt = g.neighbors(p, std::span<Point, 4>{nbr});
+            EXPECT_EQ(cnt, g.degree(p)) << p;
+        }
+    }
+}
+
+TEST(Grid2D, NeighborsAreAdjacentAndContained) {
+    const auto g = Grid2D::square(4);
+    std::array<Point, 4> nbr;
+    for (Coord y = 0; y < 4; ++y) {
+        for (Coord x = 0; x < 4; ++x) {
+            const Point p{x, y};
+            const int cnt = g.neighbors(p, std::span<Point, 4>{nbr});
+            for (int i = 0; i < cnt; ++i) {
+                EXPECT_TRUE(g.contains(nbr[static_cast<std::size_t>(i)]));
+                EXPECT_EQ(manhattan(p, nbr[static_cast<std::size_t>(i)]), 1);
+            }
+        }
+    }
+}
+
+TEST(Grid2D, SingleNodeGridHasNoNeighbors) {
+    const auto g = Grid2D::square(1);
+    EXPECT_EQ(g.degree({0, 0}), 0);
+    std::array<Point, 4> nbr;
+    EXPECT_EQ(g.neighbors({0, 0}, std::span<Point, 4>{nbr}), 0);
+}
+
+TEST(Grid2D, ClampPullsOutsidePointsToBoundary) {
+    const auto g = Grid2D::square(5);
+    EXPECT_EQ(g.clamp({-3, 2}), (Point{0, 2}));
+    EXPECT_EQ(g.clamp({7, -1}), (Point{4, 0}));
+    EXPECT_EQ(g.clamp({2, 2}), (Point{2, 2}));
+}
+
+TEST(Grid2D, CenterIsContained) {
+    for (Coord s : {1, 2, 3, 10, 11}) {
+        const auto g = Grid2D::square(s);
+        EXPECT_TRUE(g.contains(g.center()));
+    }
+}
+
+// ---------------------------------------------------------------- Torus2D
+
+TEST(Torus2D, AllNodesHaveDegreeFour) {
+    const auto t = Torus2D::square(4);
+    std::array<Point, 4> nbr;
+    for (Coord y = 0; y < 4; ++y) {
+        for (Coord x = 0; x < 4; ++x) {
+            EXPECT_EQ(t.neighbors({x, y}, std::span<Point, 4>{nbr}), 4);
+        }
+    }
+}
+
+TEST(Torus2D, WrapsAround) {
+    const auto t = Torus2D::square(4);
+    std::array<Point, 4> nbr;
+    t.neighbors({0, 0}, std::span<Point, 4>{nbr});
+    std::set<Point> ns(nbr.begin(), nbr.end());
+    EXPECT_TRUE(ns.count(Point{3, 0}));
+    EXPECT_TRUE(ns.count(Point{1, 0}));
+    EXPECT_TRUE(ns.count(Point{0, 3}));
+    EXPECT_TRUE(ns.count(Point{0, 1}));
+}
+
+TEST(Torus2D, WrappedManhattanShortcuts) {
+    const auto t = Torus2D::square(10);
+    EXPECT_EQ(t.wrapped_manhattan({0, 0}, {9, 0}), 1);
+    EXPECT_EQ(t.wrapped_manhattan({0, 0}, {5, 5}), 10);
+    EXPECT_EQ(t.wrapped_manhattan({1, 1}, {1, 1}), 0);
+    EXPECT_EQ(t.wrapped_manhattan({0, 0}, {9, 9}), 2);
+}
+
+// ------------------------------------------------------------ Tessellation
+
+TEST(Tessellation, RejectsBadCellSide) {
+    const auto g = Grid2D::square(8);
+    EXPECT_THROW(Tessellation(g, 0), std::invalid_argument);
+}
+
+TEST(Tessellation, ExactPartitionWhenDivisible) {
+    const auto g = Grid2D::square(12);
+    const Tessellation t{g, 4};
+    EXPECT_EQ(t.cells_x(), 3);
+    EXPECT_EQ(t.cells_y(), 3);
+    EXPECT_EQ(t.cell_count(), 9);
+    for (Coord cy = 0; cy < 3; ++cy) {
+        for (Coord cx = 0; cx < 3; ++cx) {
+            EXPECT_EQ(t.cell_node_count({cx, cy}), 16);
+        }
+    }
+}
+
+TEST(Tessellation, TruncatedBorderCells) {
+    const auto g = Grid2D::square(10);
+    const Tessellation t{g, 4};
+    EXPECT_EQ(t.cells_x(), 3);  // 4 + 4 + 2
+    EXPECT_EQ(t.cell_node_count({0, 0}), 16);
+    EXPECT_EQ(t.cell_node_count({2, 0}), 8);   // 2 wide × 4 tall
+    EXPECT_EQ(t.cell_node_count({2, 2}), 4);   // 2 × 2 corner
+}
+
+TEST(Tessellation, NodeCountsSumToGridSize) {
+    for (const Coord side : {7, 10, 16}) {
+        for (const Coord cell : {1, 3, 5}) {
+            const auto g = Grid2D::square(side);
+            const Tessellation t{g, cell};
+            std::int64_t total = 0;
+            for (Coord cy = 0; cy < t.cells_y(); ++cy) {
+                for (Coord cx = 0; cx < t.cells_x(); ++cx) {
+                    total += t.cell_node_count({cx, cy});
+                }
+            }
+            EXPECT_EQ(total, g.size());
+        }
+    }
+}
+
+TEST(Tessellation, CellOfIsConsistentWithOrigin) {
+    const auto g = Grid2D::square(9);
+    const Tessellation t{g, 3};
+    for (Coord y = 0; y < 9; ++y) {
+        for (Coord x = 0; x < 9; ++x) {
+            const Point p{x, y};
+            const auto cell = t.cell_coords(p);
+            const auto origin = t.cell_origin(cell);
+            EXPECT_LE(origin.x, p.x);
+            EXPECT_LE(origin.y, p.y);
+            EXPECT_LT(p.x - origin.x, 3);
+            EXPECT_LT(p.y - origin.y, 3);
+            EXPECT_EQ(t.cell_point(t.cell_of(p)), cell);
+        }
+    }
+}
+
+TEST(Tessellation, CellCenterInsideCellAndGrid) {
+    const auto g = Grid2D::square(10);
+    const Tessellation t{g, 4};
+    for (Coord cy = 0; cy < t.cells_y(); ++cy) {
+        for (Coord cx = 0; cx < t.cells_x(); ++cx) {
+            const auto c = t.cell_center({cx, cy});
+            EXPECT_TRUE(g.contains(c));
+            EXPECT_EQ(t.cell_coords(c), (Point{cx, cy}));
+        }
+    }
+}
+
+TEST(Tessellation, CellNeighborsMatchGridStructure) {
+    const auto g = Grid2D::square(12);
+    const Tessellation t{g, 4};  // 3×3 cells
+    std::array<Point, 4> nbr;
+    EXPECT_EQ(t.cell_neighbors({0, 0}, std::span<Point, 4>{nbr}), 2);
+    EXPECT_EQ(t.cell_neighbors({1, 0}, std::span<Point, 4>{nbr}), 3);
+    EXPECT_EQ(t.cell_neighbors({1, 1}, std::span<Point, 4>{nbr}), 4);
+}
+
+TEST(Tessellation, SingleCellCoversEverything) {
+    const auto g = Grid2D::square(5);
+    const Tessellation t{g, 10};
+    EXPECT_EQ(t.cell_count(), 1);
+    EXPECT_EQ(t.cell_node_count({0, 0}), 25);
+}
+
+}  // namespace
+}  // namespace smn::grid

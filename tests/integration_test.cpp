@@ -1,0 +1,196 @@
+// integration_test.cpp — cross-module behaviour: the paper's qualitative
+// predictions at test scale, and end-to-end determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/broadcast.hpp"
+#include "core/gossip.hpp"
+#include "core/observers.hpp"
+#include "graph/percolation.hpp"
+#include "sim/runner.hpp"
+#include "stats/regression.hpp"
+
+namespace smn {
+namespace {
+
+using core::EngineConfig;
+
+double mean_broadcast_time(grid::Coord side, std::int32_t k, std::int64_t radius, int reps,
+                           std::uint64_t base_seed) {
+    const auto sample = sim::sample_replications(
+        reps, base_seed,
+        [&](int, std::uint64_t seed) {
+            EngineConfig cfg;
+            cfg.side = side;
+            cfg.k = k;
+            cfg.radius = radius;
+            cfg.seed = seed;
+            const auto result = core::run_broadcast(cfg, {.max_steps = 100000000});
+            EXPECT_TRUE(result.completed);
+            return static_cast<double>(result.broadcast_time);
+        });
+    return sample.mean();
+}
+
+// Theorem 1 directionally: more agents → faster broadcast.
+TEST(Integration, BroadcastTimeDecreasesInK) {
+    const double tb_k4 = mean_broadcast_time(24, 4, 0, 12, 100);
+    const double tb_k32 = mean_broadcast_time(24, 32, 0, 12, 200);
+    EXPECT_LT(tb_k32, tb_k4);
+    // √(32/4) ≈ 2.8× speedup predicted; allow a broad band.
+    EXPECT_LT(tb_k32, 0.7 * tb_k4);
+}
+
+// Larger grid → slower broadcast (linear in n up to logs).
+TEST(Integration, BroadcastTimeGrowsWithN) {
+    const double tb_small = mean_broadcast_time(16, 8, 0, 12, 300);
+    const double tb_large = mean_broadcast_time(32, 8, 0, 12, 400);
+    EXPECT_GT(tb_large, 1.5 * tb_small);  // n grows 4×; expect ≈4× (logs soften)
+}
+
+// The headline radius-independence: T_B at r = 0 and at r just below the
+// percolation point differ by at most a modest factor (the paper proves
+// Θ̃-equality; at this scale a factor-3 band is a meaningful check while
+// staying robust to noise).
+TEST(Integration, RadiusBelowPercolationChangesLittle) {
+    const auto side = 32;
+    const std::int32_t k = 16;  // r_c = √(1024/16) = 8
+    const double tb_r0 = mean_broadcast_time(side, k, 0, 16, 500);
+    const double tb_r2 = mean_broadcast_time(side, k, 2, 16, 600);
+    EXPECT_LT(tb_r2, tb_r0 * 1.05);       // radius can only help (up to noise)
+    EXPECT_GT(tb_r2, tb_r0 / 3.0);        // ... but below r_c not by much
+}
+
+// Above the percolation point broadcast collapses to (near) instant —
+// the Peres et al. contrast.
+TEST(Integration, SupercriticalRadiusIsDramaticallyFaster) {
+    const auto side = 32;
+    const std::int32_t k = 16;  // r_c = 8
+    const double tb_r0 = mean_broadcast_time(side, k, 0, 10, 700);
+    const double tb_super = mean_broadcast_time(side, k, 24, 10, 800);  // 3 r_c
+    EXPECT_LT(tb_super, tb_r0 / 10.0);
+}
+
+// Monotonicity in radius (stochastic): broadcast time is a non-increasing
+// function of the transmission radius (Corollary 1's observation).
+TEST(Integration, BroadcastTimeNonIncreasingInRadius) {
+    const auto side = 24;
+    const std::int32_t k = 12;
+    double prev = mean_broadcast_time(side, k, 0, 12, 900);
+    for (const std::int64_t r : {1, 2, 4, 8}) {
+        const double now = mean_broadcast_time(side, k, r, 12, 900 + static_cast<std::uint64_t>(r));
+        EXPECT_LT(now, prev * 1.25) << "radius " << r;  // allow noise band
+        prev = now;
+    }
+}
+
+// Mini E1: the fitted exponent of T_B vs k at fixed n should be near −1/2
+// (the paper's Θ̃(n/√k)), certainly far from [28]'s −1.
+TEST(Integration, FittedExponentNearMinusHalf) {
+    const auto side = 32;
+    std::vector<double> ks;
+    std::vector<double> tbs;
+    for (const std::int32_t k : {4, 8, 16, 32, 64}) {
+        ks.push_back(static_cast<double>(k));
+        tbs.push_back(mean_broadcast_time(side, k, 0, 16, 1000 + static_cast<std::uint64_t>(k)));
+    }
+    const auto fit = stats::loglog_fit(ks, tbs);
+    EXPECT_LT(fit.slope, -0.25);
+    EXPECT_GT(fit.slope, -0.85);
+    EXPECT_GT(fit.r_squared, 0.85);
+}
+
+// Lemma 6 at test scale: islands at parameter γ stay small throughout a
+// run (≤ a small multiple of log n — we use 4·log₂(n) as a loose cap).
+TEST(Integration, IslandsStaySmallBelowPercolation) {
+    EngineConfig cfg;
+    cfg.side = 48;  // n = 2304
+    cfg.k = 48;
+    cfg.seed = 12;
+    const auto gamma = static_cast<std::int64_t>(
+        std::max(1.0, graph::island_gamma(cfg.n(), cfg.k)));
+    core::BroadcastProcess process{cfg};
+    core::IslandObserver islands{process.grid(), gamma};
+    process.attach(islands);
+    for (int t = 0; t < 500 && !process.complete(); ++t) process.step();
+    const double logn = std::log2(static_cast<double>(cfg.n()));
+    EXPECT_LE(static_cast<double>(islands.max_island()), 4.0 * logn);
+}
+
+// Gossip completes within a polylog factor of broadcast (Corollary 2).
+TEST(Integration, GossipWithinPolylogOfBroadcast) {
+    EngineConfig cfg;
+    cfg.side = 24;
+    cfg.k = 12;
+    double ratio_total = 0.0;
+    constexpr int kReps = 8;
+    for (std::uint64_t seed = 1; seed <= kReps; ++seed) {
+        cfg.seed = seed;
+        const auto g = core::run_gossip(cfg, 100000000);
+        const auto b = core::run_broadcast(cfg, {.max_steps = 100000000});
+        ASSERT_TRUE(g.completed && b.completed);
+        ratio_total += static_cast<double>(g.gossip_time) /
+                       std::max<double>(1.0, static_cast<double>(b.broadcast_time));
+    }
+    const double mean_ratio = ratio_total / kReps;
+    EXPECT_LT(mean_ratio, 8.0);  // same scale up to small factors
+    EXPECT_GT(mean_ratio, 0.5);
+}
+
+// The lower-bound radius of Theorem 2 is far below r_c; runs there behave
+// like r = 0 (radius irrelevance at the bottom of the subcritical range).
+TEST(Integration, LowerBoundRadiusBehavesLikeZero) {
+    const auto side = 32;
+    const std::int32_t k = 16;
+    const auto n = std::int64_t{side} * side;
+    const auto r_lb =
+        static_cast<std::int64_t>(graph::lower_bound_radius(n, k));  // usually 0 or 1
+    const double tb_r0 = mean_broadcast_time(side, k, 0, 12, 1100);
+    const double tb_lb = mean_broadcast_time(side, k, r_lb, 12, 1200);
+    EXPECT_GT(tb_lb, tb_r0 / 2.5);
+    EXPECT_LT(tb_lb, tb_r0 * 2.5);
+}
+
+// End-to-end determinism: a full experiment row is identical across thread
+// counts.
+TEST(Integration, ExperimentRowsIndependentOfThreads) {
+    const auto body = [](int, std::uint64_t seed) {
+        EngineConfig cfg;
+        cfg.side = 16;
+        cfg.k = 8;
+        cfg.seed = seed;
+        return static_cast<double>(core::run_broadcast(cfg, {.max_steps = 10000000}).broadcast_time);
+    };
+    const auto serial = sim::run_replications(12, 4242, body, 1);
+    const auto parallel = sim::run_replications(12, 4242, body, 8);
+    EXPECT_EQ(serial, parallel);
+}
+
+// Walk-kind ablation: the paper's 1/5-lazy walk and the 1/2-lazy walk give
+// the same scaling (both are lazy uniform-ish walks); sanity that both
+// complete and are within a small factor.
+TEST(Integration, WalkKindAblation) {
+    EngineConfig cfg;
+    cfg.side = 24;
+    cfg.k = 12;
+    double paper_total = 0.0;
+    double half_total = 0.0;
+    constexpr int kReps = 10;
+    for (std::uint64_t seed = 1; seed <= kReps; ++seed) {
+        cfg.seed = seed;
+        cfg.walk = walk::WalkKind::kLazyPaper;
+        paper_total += static_cast<double>(
+            core::run_broadcast(cfg, {.max_steps = 100000000}).broadcast_time);
+        cfg.walk = walk::WalkKind::kLazyHalf;
+        half_total += static_cast<double>(
+            core::run_broadcast(cfg, {.max_steps = 100000000}).broadcast_time);
+    }
+    EXPECT_LT(half_total, paper_total * 2.0);
+    EXPECT_GT(half_total, paper_total / 2.0);
+}
+
+}  // namespace
+}  // namespace smn

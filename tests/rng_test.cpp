@@ -1,0 +1,213 @@
+// rng_test.cpp — unit and statistical tests for the RNG layer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace smn::rng {
+namespace {
+
+TEST(SplitMix64, KnownSequenceFromSeedZero) {
+    // Reference values from the canonical SplitMix64 implementation.
+    SplitMix64 sm{0};
+    EXPECT_EQ(sm(), 0xE220A8397B1DCDAFULL);
+    EXPECT_EQ(sm(), 0x6E789E6AA1B965F4ULL);
+    EXPECT_EQ(sm(), 0x06C45D188009454FULL);
+}
+
+TEST(SplitMix64, DistinctSeedsDiverge) {
+    SplitMix64 a{1};
+    SplitMix64 b{2};
+    EXPECT_NE(a(), b());
+}
+
+TEST(SplitMix64, Mix64MatchesGeneratorStep) {
+    // mix64(s) equals the first output of SplitMix64 seeded with s.
+    for (std::uint64_t s : {0ULL, 1ULL, 42ULL, 0xDEADBEEFULL}) {
+        SplitMix64 sm{s};
+        EXPECT_EQ(mix64(s), sm());
+    }
+}
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+    Xoshiro256StarStar a{123};
+    Xoshiro256StarStar b{123};
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsProduceDifferentStreams) {
+    Xoshiro256StarStar a{1};
+    Xoshiro256StarStar b{2};
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += (a() == b());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro256, JumpDecorrelatesStreams) {
+    Xoshiro256StarStar a{7};
+    Xoshiro256StarStar b{7};
+    b.jump();
+    EXPECT_NE(a.state(), b.state());
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += (a() == b());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro256, StateRoundTrip) {
+    Xoshiro256StarStar a{99};
+    a();
+    Xoshiro256StarStar b{a.state()};
+    EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, BelowIsInRange) {
+    Rng rng{5};
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+    Rng rng{5};
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsApproximatelyUniform) {
+    // Chi-square test over 10 buckets at ~6 sigma tolerance.
+    Rng rng{2024};
+    constexpr int kBuckets = 10;
+    constexpr int kDraws = 100000;
+    std::array<int, kBuckets> counts{};
+    for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+    const double expected = static_cast<double>(kDraws) / kBuckets;
+    double chi2 = 0.0;
+    for (const int c : counts) {
+        const double d = c - expected;
+        chi2 += d * d / expected;
+    }
+    // 9 degrees of freedom: mean 9, sd ~4.24; 40 is far beyond any
+    // plausible statistical fluctuation for a correct generator.
+    EXPECT_LT(chi2, 40.0);
+}
+
+TEST(Rng, RangeCoversEndpoints) {
+    Rng rng{7};
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RangeSingleton) {
+    Rng rng{7};
+    for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.range(42, 42), 42);
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+    Rng rng{11};
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+    Rng rng{13};
+    double sum = 0.0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) sum += rng.uniform();
+    EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+    Rng rng{17};
+    constexpr int kDraws = 100000;
+    int hits = 0;
+    for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+    Rng rng{19};
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+    Rng rng{23};
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    auto w = v;
+    rng.shuffle(std::span<int>{w});
+    std::sort(w.begin(), w.end());
+    EXPECT_EQ(v, w);
+}
+
+TEST(Rng, ShuffleChangesOrderEventually) {
+    Rng rng{29};
+    std::vector<int> v(50);
+    for (int i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+    auto w = v;
+    rng.shuffle(std::span<int>{w});
+    EXPECT_NE(v, w);  // probability 1/50! of spurious failure
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndInRange) {
+    Rng rng{31};
+    for (const std::size_t count : {0UL, 1UL, 5UL, 50UL}) {
+        const auto sample = rng.sample_without_replacement(100, count);
+        EXPECT_EQ(sample.size(), count);
+        std::set<std::uint64_t> unique(sample.begin(), sample.end());
+        EXPECT_EQ(unique.size(), count);
+        for (const auto v : sample) EXPECT_LT(v, 100u);
+    }
+}
+
+TEST(Rng, SampleFullUniverse) {
+    Rng rng{37};
+    const auto sample = rng.sample_without_replacement(10, 10);
+    std::set<std::uint64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SplitProducesDecorrelatedStream) {
+    Rng a{41};
+    Rng b = a.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+    EXPECT_LT(same, 2);
+}
+
+TEST(ReplicationSeed, DistinctRepsDistinctSeeds) {
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t rep = 0; rep < 1000; ++rep) {
+        seeds.insert(replication_seed(12345, rep));
+    }
+    EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(ReplicationSeed, DependsOnBase) {
+    EXPECT_NE(replication_seed(1, 0), replication_seed(2, 0));
+}
+
+TEST(ReplicationSeed, Deterministic) {
+    EXPECT_EQ(replication_seed(77, 5), replication_seed(77, 5));
+}
+
+}  // namespace
+}  // namespace smn::rng

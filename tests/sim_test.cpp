@@ -1,0 +1,134 @@
+// sim_test.cpp — CLI args and the deterministic replication runner.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/args.hpp"
+#include "sim/runner.hpp"
+
+namespace smn::sim {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+    std::vector<const char*> v{"prog"};
+    v.insert(v.end(), args.begin(), args.end());
+    return v;
+}
+
+TEST(Args, ParsesTypedValues) {
+    auto argv = argv_of({"--n=4096", "--alpha=0.5", "--name=test"});
+    Args args{static_cast<int>(argv.size()), argv.data()};
+    EXPECT_EQ(args.get_int("n", 0), 4096);
+    EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 0.5);
+    EXPECT_EQ(args.get_string("name", ""), "test");
+    args.reject_unknown();
+}
+
+TEST(Args, FallbacksApply) {
+    auto argv = argv_of({});
+    Args args{static_cast<int>(argv.size()), argv.data()};
+    EXPECT_EQ(args.get_int("missing", 7), 7);
+    EXPECT_DOUBLE_EQ(args.get_double("missing2", 1.5), 1.5);
+    EXPECT_EQ(args.get_string("missing3", "x"), "x");
+    EXPECT_FALSE(args.get_flag("missing4"));
+}
+
+TEST(Args, QuickAndCsvAreRecognized) {
+    auto argv = argv_of({"--quick", "--csv"});
+    Args args{static_cast<int>(argv.size()), argv.data()};
+    EXPECT_TRUE(args.quick());
+    EXPECT_TRUE(args.csv());
+    args.reject_unknown();
+}
+
+TEST(Args, FlagsWithoutValue) {
+    auto argv = argv_of({"--verbose"});
+    Args args{static_cast<int>(argv.size()), argv.data()};
+    EXPECT_TRUE(args.get_flag("verbose"));
+    args.reject_unknown();
+}
+
+TEST(Args, MalformedArgumentThrows) {
+    auto argv = argv_of({"notanoption"});
+    EXPECT_THROW((Args{static_cast<int>(argv.size()), argv.data()}), std::invalid_argument);
+}
+
+TEST(Args, BadIntThrows) {
+    auto argv = argv_of({"--n=abc"});
+    Args args{static_cast<int>(argv.size()), argv.data()};
+    EXPECT_THROW((void)args.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Args, UnknownKeyRejected) {
+    auto argv = argv_of({"--typo=1"});
+    Args args{static_cast<int>(argv.size()), argv.data()};
+    (void)args.get_int("n", 0);  // declare something else
+    EXPECT_THROW(args.reject_unknown(), std::invalid_argument);
+}
+
+TEST(Args, UnknownFlagRejected) {
+    auto argv = argv_of({"--mystery"});
+    Args args{static_cast<int>(argv.size()), argv.data()};
+    EXPECT_THROW(args.reject_unknown(), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ runner
+
+TEST(Runner, ProducesOneResultPerReplication) {
+    const auto results = run_replications(
+        10, 42, [](int rep, std::uint64_t) { return static_cast<double>(rep); }, 4);
+    ASSERT_EQ(results.size(), 10u);
+    for (int rep = 0; rep < 10; ++rep) {
+        EXPECT_DOUBLE_EQ(results[static_cast<std::size_t>(rep)], static_cast<double>(rep));
+    }
+}
+
+TEST(Runner, SeedsAreDeterministicAndPerReplication) {
+    std::vector<std::uint64_t> seen(8, 0);
+    (void)run_replications(
+        8, 99,
+        [&](int rep, std::uint64_t seed) {
+            seen[static_cast<std::size_t>(rep)] = seed;
+            return 0.0;
+        },
+        1);
+    for (int rep = 0; rep < 8; ++rep) {
+        EXPECT_EQ(seen[static_cast<std::size_t>(rep)],
+                  rng::replication_seed(99, static_cast<std::uint64_t>(rep)));
+    }
+}
+
+TEST(Runner, ThreadCountDoesNotChangeResults) {
+    const auto body = [](int rep, std::uint64_t seed) {
+        // Some seed-dependent computation.
+        rng::Rng rng{seed};
+        double total = 0.0;
+        for (int i = 0; i <= rep; ++i) total += rng.uniform();
+        return total;
+    };
+    const auto serial = run_replications(20, 7, body, 1);
+    const auto par2 = run_replications(20, 7, body, 2);
+    const auto par8 = run_replications(20, 7, body, 8);
+    EXPECT_EQ(serial, par2);
+    EXPECT_EQ(serial, par8);
+}
+
+TEST(Runner, MoreThreadsThanWork) {
+    const auto results = run_replications(
+        3, 1, [](int rep, std::uint64_t) { return static_cast<double>(rep * rep); }, 16);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_DOUBLE_EQ(results[2], 4.0);
+}
+
+TEST(Runner, SampleAggregatesAll) {
+    const auto sample = sample_replications(
+        100, 5, [](int, std::uint64_t seed) { return rng::Rng{seed}.uniform(); }, 4);
+    EXPECT_EQ(sample.count(), 100);
+    EXPECT_GT(sample.mean(), 0.3);
+    EXPECT_LT(sample.mean(), 0.7);
+}
+
+TEST(Runner, DefaultThreadsIsPositive) { EXPECT_GE(default_threads(), 1); }
+
+}  // namespace
+}  // namespace smn::sim

@@ -1,0 +1,94 @@
+// viz_test.cpp — ASCII rendering of system state.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "grid/grid.hpp"
+#include "grid/obstacle_grid.hpp"
+#include "viz/ascii.hpp"
+
+namespace smn::viz {
+namespace {
+
+using grid::Grid2D;
+using grid::Point;
+
+TEST(Ascii, EmptyGridIsAllDots) {
+    const auto g = Grid2D::square(3);
+    const auto out = render(g, {});
+    EXPECT_EQ(out, "...\n...\n...\n");
+}
+
+TEST(Ascii, AgentsAndInformedGlyphs) {
+    const auto g = Grid2D::square(3);
+    const std::vector<Point> pos{{0, 0}, {2, 2}};
+    const std::vector<std::uint8_t> informed{1, 0};
+    const auto out = render(g, pos, informed);
+    // y grows upward: row printed first is y = 2.
+    EXPECT_EQ(out, "..o\n...\n*..\n");
+}
+
+TEST(Ascii, ColocatedAgentsShowCount) {
+    const auto g = Grid2D::square(2);
+    const std::vector<Point> pos{{0, 0}, {0, 0}, {0, 0}};
+    const std::vector<std::uint8_t> informed{0, 0, 0};
+    const auto out = render(g, pos, informed);
+    EXPECT_EQ(out, "..\n3.\n");
+}
+
+TEST(Ascii, ManyColocatedShowPlus) {
+    const auto g = Grid2D::square(2);
+    std::vector<Point> pos(12, Point{1, 1});
+    const auto out = render(g, pos);
+    EXPECT_EQ(out, ".+\n..\n");
+}
+
+TEST(Ascii, InformedDominatesWithinBlock) {
+    // Downsample 4x4 grid into 2 columns: block = 2.
+    const auto g = Grid2D::square(4);
+    const std::vector<Point> pos{{0, 0}, {1, 1}};
+    const std::vector<std::uint8_t> informed{0, 1};
+    const auto out = render(g, pos, informed, 2);
+    // Both agents in the lower-left block; informed wins; count = 2.
+    EXPECT_EQ(out, "..\n2.\n");
+}
+
+TEST(Ascii, BlockedNodesRenderAsHash) {
+    auto domain = grid::ObstacleGrid::with_vertical_wall(4, 2, 1, 2);
+    const auto out = render(domain, {});
+    // Column x = 2 blocked except y = 1.
+    EXPECT_EQ(out, "..#.\n..#.\n....\n..#.\n");
+}
+
+TEST(Ascii, AgentBeatsBlockInDownsampledBlock) {
+    auto domain = grid::ObstacleGrid::square(4);
+    domain.block({0, 0});
+    const std::vector<Point> pos{{1, 1}};
+    const auto out = render(domain, pos, {}, 2);
+    EXPECT_EQ(out, "..\no.\n");
+}
+
+TEST(Ascii, DownsamplingBoundsOutputWidth) {
+    const auto g = Grid2D::square(256);
+    const auto out = render(g, {}, {}, 64);
+    // First line = 64 chars + newline.
+    EXPECT_EQ(out.find('\n'), 64u);
+}
+
+TEST(Ascii, OutputIsRectangular) {
+    const Grid2D g{5, 3};
+    const auto out = render(g, std::vector<Point>{{4, 2}});
+    std::size_t lines = 0;
+    std::size_t start = 0;
+    while (true) {
+        const auto nl = out.find('\n', start);
+        if (nl == std::string::npos) break;
+        EXPECT_EQ(nl - start, 5u);
+        start = nl + 1;
+        ++lines;
+    }
+    EXPECT_EQ(lines, 3u);
+}
+
+}  // namespace
+}  // namespace smn::viz

@@ -1,0 +1,410 @@
+// walk_test.cpp — step kernels, stationarity, ensemble, tracker, probes.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "grid/grid.hpp"
+#include "rng/rng.hpp"
+#include "walk/ensemble.hpp"
+#include "walk/meeting.hpp"
+#include "walk/step.hpp"
+#include "walk/tracker.hpp"
+
+namespace smn::walk {
+namespace {
+
+using grid::Grid2D;
+using grid::Point;
+
+// ------------------------------------------------------------ step kernels
+
+TEST(Step, MovesToAdjacentOrStays) {
+    const auto g = Grid2D::square(5);
+    rng::Rng rng{1};
+    for (const auto kind : {WalkKind::kLazyPaper, WalkKind::kSimple, WalkKind::kLazyHalf}) {
+        Point p{2, 2};
+        for (int i = 0; i < 500; ++i) {
+            const Point q = step(g, p, rng, kind);
+            EXPECT_TRUE(g.contains(q));
+            EXPECT_LE(grid::manhattan(p, q), 1);
+            p = q;
+        }
+    }
+}
+
+TEST(Step, SimpleWalkNeverStaysOnMultiNodeGrid) {
+    const auto g = Grid2D::square(3);
+    rng::Rng rng{2};
+    Point p{1, 1};
+    for (int i = 0; i < 200; ++i) {
+        const Point q = step(g, p, rng, WalkKind::kSimple);
+        EXPECT_NE(q, p);
+        p = q;
+    }
+}
+
+TEST(Step, LazyPaperStayProbabilityInterior) {
+    // Interior node: degree 4 → stay probability 1/5.
+    const auto g = Grid2D::square(9);
+    rng::Rng rng{3};
+    const Point p{4, 4};
+    int stays = 0;
+    constexpr int kTrials = 100000;
+    for (int i = 0; i < kTrials; ++i) stays += (step(g, p, rng) == p);
+    EXPECT_NEAR(static_cast<double>(stays) / kTrials, 0.2, 0.01);
+    EXPECT_DOUBLE_EQ(stay_probability(g, p, WalkKind::kLazyPaper), 0.2);
+}
+
+TEST(Step, LazyPaperStayProbabilityCorner) {
+    // Corner node: degree 2 → stay probability 3/5.
+    const auto g = Grid2D::square(9);
+    rng::Rng rng{4};
+    const Point p{0, 0};
+    int stays = 0;
+    constexpr int kTrials = 100000;
+    for (int i = 0; i < kTrials; ++i) stays += (step(g, p, rng) == p);
+    EXPECT_NEAR(static_cast<double>(stays) / kTrials, 0.6, 0.01);
+    EXPECT_DOUBLE_EQ(stay_probability(g, p, WalkKind::kLazyPaper), 0.6);
+}
+
+TEST(Step, LazyPaperEachNeighborGetsOneFifth) {
+    const auto g = Grid2D::square(9);
+    rng::Rng rng{5};
+    const Point p{4, 4};
+    std::array<Point, 4> nbr;
+    g.neighbors(p, std::span<Point, 4>{nbr});
+    std::array<int, 4> counts{};
+    constexpr int kTrials = 100000;
+    for (int i = 0; i < kTrials; ++i) {
+        const Point q = step(g, p, rng);
+        for (int j = 0; j < 4; ++j) {
+            if (q == nbr[static_cast<std::size_t>(j)]) ++counts[static_cast<std::size_t>(j)];
+        }
+    }
+    for (const int c : counts) {
+        EXPECT_NEAR(static_cast<double>(c) / kTrials, 0.2, 0.01);
+    }
+}
+
+TEST(Step, WalkKindNames) {
+    EXPECT_STREQ(walk_kind_name(WalkKind::kLazyPaper), "lazy-1/5");
+    EXPECT_STREQ(walk_kind_name(WalkKind::kSimple), "simple");
+    EXPECT_STREQ(walk_kind_name(WalkKind::kLazyHalf), "lazy-1/2");
+}
+
+// The paper's central claim about the kernel: the uniform distribution is
+// stationary. Start uniform, run many steps, check per-node occupancy stays
+// uniform (chi-square).
+TEST(Step, LazyPaperPreservesUniformDistribution) {
+    const auto g = Grid2D::square(6);  // 36 nodes
+    rng::Rng rng{6};
+    constexpr int kAgents = 20000;
+    std::vector<Point> pos;
+    pos.reserve(kAgents);
+    for (int i = 0; i < kAgents; ++i) pos.push_back(AgentEnsemble::random_node(g, rng));
+    for (int t = 0; t < 25; ++t) {
+        for (auto& p : pos) p = step(g, p, rng);
+    }
+    std::vector<int> counts(static_cast<std::size_t>(g.size()), 0);
+    for (const auto& p : pos) ++counts[static_cast<std::size_t>(g.node_id(p))];
+    const double expected = static_cast<double>(kAgents) / static_cast<double>(g.size());
+    double chi2 = 0.0;
+    for (const int c : counts) {
+        const double d = c - expected;
+        chi2 += d * d / expected;
+    }
+    // 35 dof: mean 35, sd ~8.4. 100 is ~7.7 sigma.
+    EXPECT_LT(chi2, 100.0);
+}
+
+// Contrast: the simple walk does NOT preserve uniformity on a bounded grid
+// (stationary distribution is proportional to degree), which is exactly why
+// the paper uses the lazy 1/5 rule.
+TEST(Step, SimpleWalkSkewsTowardInterior) {
+    const auto g = Grid2D::square(6);
+    rng::Rng rng{7};
+    constexpr int kAgents = 40000;
+    std::vector<Point> pos;
+    pos.reserve(kAgents);
+    for (int i = 0; i < kAgents; ++i) pos.push_back(AgentEnsemble::random_node(g, rng));
+    for (int t = 0; t < 60; ++t) {
+        for (auto& p : pos) p = step(g, p, rng, WalkKind::kSimple);
+    }
+    int corner = 0;
+    int interior = 0;
+    for (const auto& p : pos) {
+        if (g.is_corner(p)) ++corner;
+        if (g.is_interior(p)) ++interior;
+    }
+    const double per_corner = corner / 4.0;
+    const double per_interior = interior / 16.0;
+    // Stationary ratio is 2:4 — corners should be visibly under-occupied.
+    EXPECT_LT(per_corner, 0.7 * per_interior);
+}
+
+// ---------------------------------------------------------------- ensemble
+
+TEST(Ensemble, RejectsBadInputs) {
+    const auto g = Grid2D::square(4);
+    rng::Rng rng{8};
+    EXPECT_THROW(AgentEnsemble(g, 0, rng), std::invalid_argument);
+    EXPECT_THROW(AgentEnsemble(g, std::vector<Point>{}), std::invalid_argument);
+    EXPECT_THROW(AgentEnsemble(g, std::vector<Point>{{9, 9}}), std::invalid_argument);
+}
+
+TEST(Ensemble, InitialPlacementIsOnGrid) {
+    const auto g = Grid2D::square(8);
+    rng::Rng rng{9};
+    const AgentEnsemble agents{g, 50, rng};
+    EXPECT_EQ(agents.count(), 50);
+    for (const auto& p : agents.positions()) EXPECT_TRUE(g.contains(p));
+}
+
+TEST(Ensemble, InitialPlacementIsApproximatelyUniform) {
+    const auto g = Grid2D::square(4);  // 16 nodes
+    rng::Rng rng{10};
+    std::vector<int> counts(16, 0);
+    for (int rep = 0; rep < 4000; ++rep) {
+        const AgentEnsemble agents{g, 4, rng};
+        for (const auto& p : agents.positions()) ++counts[static_cast<std::size_t>(g.node_id(p))];
+    }
+    const double expected = 4000.0 * 4 / 16;
+    double chi2 = 0.0;
+    for (const int c : counts) {
+        const double d = c - expected;
+        chi2 += d * d / expected;
+    }
+    EXPECT_LT(chi2, 50.0);  // 15 dof
+}
+
+TEST(Ensemble, StepAllMovesAtMostOneStep) {
+    const auto g = Grid2D::square(10);
+    rng::Rng rng{11};
+    AgentEnsemble agents{g, 30, rng};
+    std::vector<Point> before(agents.positions().begin(), agents.positions().end());
+    agents.step_all(rng);
+    for (std::int32_t a = 0; a < agents.count(); ++a) {
+        EXPECT_LE(grid::manhattan(before[static_cast<std::size_t>(a)], agents.position(a)), 1);
+    }
+}
+
+TEST(Ensemble, StepSubsetFreezesUnselected) {
+    const auto g = Grid2D::square(10);
+    rng::Rng rng{12};
+    AgentEnsemble agents{g, 20, rng};
+    std::vector<Point> before(agents.positions().begin(), agents.positions().end());
+    std::vector<std::uint8_t> mask(20, 0);
+    for (int a = 0; a < 10; ++a) mask[static_cast<std::size_t>(a)] = 1;
+    // Step several times: frozen agents must not move at all.
+    for (int t = 0; t < 20; ++t) agents.step_subset(rng, mask);
+    for (std::int32_t a = 10; a < 20; ++a) {
+        EXPECT_EQ(agents.position(a), before[static_cast<std::size_t>(a)]);
+    }
+}
+
+TEST(Ensemble, DeterministicGivenSeed) {
+    const auto g = Grid2D::square(10);
+    rng::Rng rng1{13};
+    rng::Rng rng2{13};
+    AgentEnsemble a{g, 15, rng1};
+    AgentEnsemble b{g, 15, rng2};
+    for (int t = 0; t < 50; ++t) {
+        a.step_all(rng1);
+        b.step_all(rng2);
+    }
+    for (std::int32_t i = 0; i < 15; ++i) EXPECT_EQ(a.position(i), b.position(i));
+}
+
+TEST(Ensemble, SetPositionMovesAgent) {
+    const auto g = Grid2D::square(5);
+    rng::Rng rng{14};
+    AgentEnsemble agents{g, 3, rng};
+    agents.set_position(1, Point{4, 4});
+    EXPECT_EQ(agents.position(1), (Point{4, 4}));
+}
+
+// ----------------------------------------------------------------- tracker
+
+TEST(Tracker, FreshWalkStartsWithRangeOne) {
+    const auto g = Grid2D::square(8);
+    WalkTracker tracker{g};
+    tracker.begin({3, 3});
+    EXPECT_EQ(tracker.range(), 1);
+    EXPECT_EQ(tracker.displacement(), 0);
+    EXPECT_EQ(tracker.max_displacement(), 0);
+    EXPECT_TRUE(tracker.has_visited({3, 3}));
+    EXPECT_FALSE(tracker.has_visited({0, 0}));
+}
+
+TEST(Tracker, CountsDistinctNodesOnly) {
+    const auto g = Grid2D::square(8);
+    WalkTracker tracker{g};
+    tracker.begin({0, 0});
+    tracker.record({1, 0});
+    tracker.record({0, 0});  // revisit
+    tracker.record({1, 0});  // revisit
+    tracker.record({1, 1});
+    EXPECT_EQ(tracker.range(), 3);
+    EXPECT_EQ(tracker.steps(), 4);
+}
+
+TEST(Tracker, DisplacementTracksCurrentAndMax) {
+    const auto g = Grid2D::square(8);
+    WalkTracker tracker{g};
+    tracker.begin({0, 0});
+    tracker.record({1, 0});
+    tracker.record({2, 0});
+    tracker.record({2, 1});  // displacement 3
+    tracker.record({2, 0});  // back to 2
+    EXPECT_EQ(tracker.displacement(), 2);
+    EXPECT_EQ(tracker.max_displacement(), 3);
+}
+
+TEST(Tracker, BeginResetsState) {
+    const auto g = Grid2D::square(8);
+    WalkTracker tracker{g};
+    tracker.begin({0, 0});
+    tracker.record({0, 1});
+    tracker.begin({5, 5});
+    EXPECT_EQ(tracker.range(), 1);
+    EXPECT_FALSE(tracker.has_visited({0, 0}));
+    EXPECT_FALSE(tracker.has_visited({0, 1}));
+    EXPECT_TRUE(tracker.has_visited({5, 5}));
+}
+
+// Lemma 2.2 sanity: range after ℓ steps is Ω(ℓ/log ℓ) with constant
+// probability. We check the median over replications clears a conservative
+// constant.
+TEST(Tracker, RangeGrowsNearlyLinearly) {
+    const auto g = Grid2D::square(200);  // big enough to avoid boundary
+    rng::Rng rng{15};
+    constexpr std::int64_t kSteps = 2000;
+    std::vector<double> ranges;
+    for (int rep = 0; rep < 40; ++rep) {
+        WalkTracker tracker{g};
+        Point p{100, 100};
+        tracker.begin(p);
+        for (std::int64_t t = 0; t < kSteps; ++t) {
+            p = step(g, p, rng);
+            tracker.record(p);
+        }
+        ranges.push_back(static_cast<double>(tracker.range()));
+    }
+    std::sort(ranges.begin(), ranges.end());
+    const double median = ranges[ranges.size() / 2];
+    const double scale = static_cast<double>(kSteps) / std::log(static_cast<double>(kSteps));
+    EXPECT_GT(median, 0.2 * scale);   // c₂ comfortably above 0.2 empirically
+    EXPECT_LT(median, 1.0 * static_cast<double>(kSteps));  // cannot beat ℓ
+}
+
+// Lemma 2.1 sanity: λ√ℓ displacement tail. With ℓ = 400 and λ = 4 the
+// bound 2e^{−8} ≈ 6.7e−4; measure the empirical tail is small.
+TEST(Tracker, DisplacementTailIsSubgaussian) {
+    const auto g = Grid2D::square(400);
+    rng::Rng rng{16};
+    constexpr std::int64_t kSteps = 400;
+    const double lambda = 4.0;
+    const auto threshold =
+        static_cast<std::int64_t>(lambda * std::sqrt(static_cast<double>(kSteps)));
+    int exceed = 0;
+    constexpr int kReps = 400;
+    for (int rep = 0; rep < kReps; ++rep) {
+        Point p{200, 200};
+        const Point start = p;
+        std::int64_t maxd = 0;
+        for (std::int64_t t = 0; t < kSteps; ++t) {
+            p = step(g, p, rng);
+            maxd = std::max(maxd, grid::manhattan(start, p));
+        }
+        exceed += (maxd >= threshold);
+    }
+    // Empirical tail should be tiny (≤ 2% allows generous slack over the
+    // theoretical ~0.07% while staying a meaningful check).
+    EXPECT_LE(exceed, kReps / 50);
+}
+
+// ------------------------------------------------------------------ probes
+
+TEST(Probe, HitImmediateWhenStartEqualsTarget) {
+    const auto g = Grid2D::square(10);
+    rng::Rng rng{17};
+    const auto res = hit_within(g, {3, 3}, {3, 3}, 0, rng);
+    EXPECT_TRUE(res.hit);
+    EXPECT_EQ(res.hit_time, 0);
+}
+
+TEST(Probe, HitRespectsBudget) {
+    const auto g = Grid2D::square(50);
+    rng::Rng rng{18};
+    // Distance 20 target with budget 1 cannot be hit.
+    const auto res = hit_within(g, {0, 0}, {10, 10}, 1, rng);
+    EXPECT_FALSE(res.hit);
+    EXPECT_EQ(res.hit_time, -1);
+}
+
+TEST(Probe, AdjacentTargetUsuallyHitQuickly) {
+    const auto g = Grid2D::square(20);
+    rng::Rng rng{19};
+    int hits = 0;
+    for (int rep = 0; rep < 200; ++rep) {
+        hits += hit_within(g, {10, 10}, {11, 10}, 100, rng).hit;
+    }
+    // 2-D walks are barely recurrent: an adjacent target is hit within 100
+    // steps only ~half the time. Expect clearly more than 1/3.
+    EXPECT_GT(hits, 70);
+}
+
+TEST(Probe, MeetImmediateWhenColocated) {
+    const auto g = Grid2D::square(10);
+    rng::Rng rng{20};
+    const auto res = meet_within(g, {5, 5}, {5, 5}, 0, rng);
+    EXPECT_TRUE(res.met);
+    EXPECT_TRUE(res.met_in_lens);
+    EXPECT_EQ(res.meet_time, 0);
+}
+
+TEST(Probe, MeetRespectsBudget) {
+    const auto g = Grid2D::square(50);
+    rng::Rng rng{21};
+    const auto res = meet_within(g, {0, 0}, {30, 30}, 2, rng);
+    EXPECT_FALSE(res.met);
+}
+
+TEST(Probe, MeetReportsLensMembership) {
+    const auto g = Grid2D::square(30);
+    rng::Rng rng{22};
+    int met = 0;
+    for (int rep = 0; rep < 300; ++rep) {
+        const auto res = meet_within(g, {14, 14}, {16, 14}, 4, rng);
+        if (res.met) {
+            ++met;
+            // Any meeting node must be somewhere sensible on the grid...
+            EXPECT_TRUE(g.contains(res.meet_node));
+            // ... and lens membership must be consistent with the geometry.
+            const auto d_a = grid::manhattan(res.meet_node, {14, 14});
+            const auto d_b = grid::manhattan(res.meet_node, {16, 14});
+            EXPECT_EQ(res.met_in_lens, d_a <= 2 && d_b <= 2);
+        }
+    }
+    EXPECT_GT(met, 10);  // distance-2 walks meet often within 4 steps
+}
+
+// Parity note: two walks at odd distance can still meet because the lazy
+// walk breaks parity (stay probability > 0). Distance-1 pairs must meet
+// with decent probability within a handful of steps.
+TEST(Probe, OddDistancePairsCanMeet) {
+    const auto g = Grid2D::square(20);
+    rng::Rng rng{23};
+    int met = 0;
+    for (int rep = 0; rep < 300; ++rep) {
+        met += meet_within(g, {10, 10}, {11, 10}, 10, rng).met;
+    }
+    // Empirically ~25% of distance-1 pairs meet within 10 steps; the point
+    // is that the lazy walk breaks parity, so the count is clearly nonzero.
+    EXPECT_GT(met, 40);
+}
+
+}  // namespace
+}  // namespace smn::walk
