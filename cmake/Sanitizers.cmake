@@ -1,0 +1,10 @@
+# AddressSanitizer + UndefinedBehaviorSanitizer instrumentation.
+#
+# Enabled tree-wide by SMN_SANITIZE (the `asan` preset); compile and link
+# flags must match across every object, so this applies globally rather
+# than per-target.
+
+if(SMN_SANITIZE)
+  add_compile_options(-fsanitize=address,undefined -fno-omit-frame-pointer -fno-sanitize-recover=all)
+  add_link_options(-fsanitize=address,undefined)
+endif()

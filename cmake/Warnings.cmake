@@ -1,0 +1,13 @@
+# Warning flags shared by every smn target.
+#
+# SMN_WERROR turns warnings into errors. It is opt-in everywhere for now:
+# the tree is -Wall -Wextra clean under gcc 12, but CI compilers have not
+# been verified, so flipping it on in ci.yml should follow a green run there.
+
+add_library(smn_warnings INTERFACE)
+add_library(smn::warnings ALIAS smn_warnings)
+
+target_compile_options(smn_warnings INTERFACE -Wall -Wextra)
+if(SMN_WERROR)
+  target_compile_options(smn_warnings INTERFACE -Werror)
+endif()
