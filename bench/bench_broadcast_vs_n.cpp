@@ -1,56 +1,51 @@
-// bench_broadcast_vs_n — Experiment E2.
+// bench_broadcast_vs_n — Experiment E2, running the registered
+// "grid_broadcast" lab scenario over a side sweep.
 //
 // Claim (Theorem 1): at fixed k, T_B grows linearly in n up to polylog
 // factors. Sweeping the grid size at fixed k, log T_B vs log n should have
 // slope ≈ 1 (slightly above due to the log factors).
+#include <cmath>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/bounds.hpp"
-#include "core/broadcast.hpp"
-#include "sim/runner.hpp"
+#include "exp/scenarios.hpp"
 #include "stats/regression.hpp"
 
 int main(int argc, char** argv) {
     using namespace smn;
+    exp::register_builtin_scenarios();
     sim::Args args{argc, argv};
-    const auto k = static_cast<std::int32_t>(args.get_int("k", 16));
-    const int reps = static_cast<int>(args.get_int("reps", args.quick() ? 8 : 30));
-    const auto base_seed = static_cast<std::uint64_t>(args.get_int("seed", 20110602));
+    const auto k = args.get_int("k", 16);
+    auto options = bench::run_options(args, 8, 30, 20110602);
     args.reject_unknown();
 
     bench::print_header("E2", "broadcast time vs grid size (r = 0)",
                         "T_B = Theta~(n/sqrt(k)): linear in n at fixed k (Thm 1)");
-    std::cout << "k = " << k << ", reps = " << reps << "\n\n";
+    std::cout << "k = " << k << ", reps = " << options.reps << "\n\n";
 
-    const std::vector<grid::Coord> sides =
-        args.quick() ? std::vector<grid::Coord>{16, 24, 32, 48}
-                     : std::vector<grid::Coord>{16, 24, 32, 48, 64, 96, 128};
+    const std::string sides = options.quick ? "16,24,32,48" : "16,24,32,48,64,96,128";
+    const auto sweep =
+        exp::SweepSpec::parse("side=" + sides + ";k=" + std::to_string(k) + ";radius=0");
+    const auto& scenario = exp::ScenarioRegistry::instance().at("grid_broadcast");
 
     stats::Table table{{"side", "n", "mean T_B", "stderr", "median", "T_B/n", "T_B*sqrt(k)/n"}};
     std::vector<double> ns;
     std::vector<double> tbs;
-    for (const auto side : sides) {
-        const std::int64_t n = std::int64_t{side} * side;
-        const auto sample = sim::sample_replications(
-            reps, base_seed + static_cast<std::uint64_t>(side),
-            [&](int, std::uint64_t seed) {
-                core::EngineConfig cfg;
-                cfg.side = side;
-                cfg.k = k;
-                cfg.radius = 0;
-                cfg.seed = seed;
-                return static_cast<double>(
-                    core::run_broadcast(cfg, {.max_steps = 1 << 28}).broadcast_time);
-            });
-        table.add_row({stats::fmt(std::int64_t{side}), stats::fmt(n), stats::fmt(sample.mean()),
-                       stats::fmt(sample.stderr_mean(), 3), stats::fmt(sample.median()),
-                       stats::fmt(sample.mean() / static_cast<double>(n), 3),
-                       stats::fmt(sample.mean() * std::sqrt(static_cast<double>(k)) /
-                                      static_cast<double>(n),
-                                  3)});
-        ns.push_back(static_cast<double>(n));
+    for (const auto& point : exp::run_sweep(scenario, sweep, options)) {
+        const std::int64_t side = std::stoll(point.params.at("side"));
+        const auto n = static_cast<double>(side * side);
+        if (!bench::has_metric(point, "broadcast_time")) {
+            std::cout << "side=" << side << ": no replication completed within the cap\n";
+            continue;
+        }
+        const auto& sample = point.metric("broadcast_time");
+        table.add_row({stats::fmt(side), stats::fmt(static_cast<std::int64_t>(n)),
+                       stats::fmt(sample.mean()), stats::fmt(sample.stderr_mean(), 3),
+                       stats::fmt(sample.median()), stats::fmt(sample.mean() / n, 3),
+                       stats::fmt(sample.mean() * std::sqrt(static_cast<double>(k)) / n, 3)});
+        ns.push_back(n);
         tbs.push_back(sample.mean());
     }
     bench::emit(table, args);

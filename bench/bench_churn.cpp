@@ -1,5 +1,5 @@
-// bench_churn — Experiment E23: broadcast under agent churn (robustness
-// extension beyond the paper; failure injection on the rumor state).
+// bench_churn — Experiment E23: broadcast under agent churn, running the
+// registered "churn" lab scenario over rate × regime.
 //
 // Two regimes per churn rate p:
 //  * knowledge-resetting churn — departing agents take the rumor with
@@ -10,88 +10,63 @@
 //    grows. The contrast isolates which resource the paper's process
 //    actually consumes: encounters, not distance.
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "models/churn.hpp"
-#include "sim/runner.hpp"
+#include "exp/scenarios.hpp"
 
 int main(int argc, char** argv) {
     using namespace smn;
+    exp::register_builtin_scenarios();
     sim::Args args{argc, argv};
-    const auto side = static_cast<grid::Coord>(args.get_int("side", args.quick() ? 24 : 48));
-    const auto k = static_cast<std::int32_t>(args.get_int("k", args.quick() ? 16 : 32));
-    const int reps = static_cast<int>(args.get_int("reps", args.quick() ? 8 : 25));
-    const auto base_seed = static_cast<std::uint64_t>(args.get_int("seed", 20110623));
+    const auto side = args.get_int("side", args.quick() ? 24 : 48);
+    const auto k = args.get_int("k", args.quick() ? 16 : 32);
+    auto options = bench::run_options(args, 8, 25, 20110623);
     args.reject_unknown();
 
     bench::print_header("E23", "broadcast under agent churn (beyond the paper)",
                         "relocation churn accelerates; knowledge-resetting churn risks "
                         "rumor extinction");
-    std::cout << "side = " << side << ", k = " << k << ", reps = " << reps << "\n\n";
+    std::cout << "side = " << side << ", k = " << k << ", reps = " << options.reps << "\n\n";
 
-    // Bounded worst case: runs that neither complete nor go extinct by the
-    // cap are excluded from both counts (rare; only near the extinction
-    // threshold).
-    const std::int64_t cap = 1 << 22;
-    stats::Table table{{"churn p", "reset: done/extinct", "reset mean T_B",
-                        "reloc: done", "reloc mean T_B"}};
+    const auto sweep = exp::SweepSpec::parse(
+        "side=" + std::to_string(side) + ";k=" + std::to_string(k) +
+        ";rate=0,0.0001,0.0005,0.001,0.005,0.02;reset=1,0");
+    const auto& scenario = exp::ScenarioRegistry::instance().at("churn");
+    const auto points = exp::run_sweep(scenario, sweep, options);
+
+    // reset=1 and reset=0 of a rate land in two consecutive sweep points;
+    // they carry independent point seeds, so the columns compare
+    // independent estimates (raise --reps for tighter contrasts).
+    stats::Table table{{"churn p", "reset: done/extinct", "reset mean T_B", "reloc: done",
+                        "reloc mean T_B"}};
     double reloc_baseline = -1.0;
     double reloc_high_churn = -1.0;
-    int reset_extinct_total = 0;
-    for (const double p : {0.0, 0.0001, 0.0005, 0.001, 0.005, 0.02}) {
-        stats::RunningStats reset_tb;
-        stats::RunningStats reloc_tb;
-        int reset_done = 0;
-        int reset_extinct = 0;
-        int reloc_done = 0;
-        std::vector<double> slots(static_cast<std::size_t>(reps) * 4, -2.0);
-        (void)sim::run_replications(
-            reps, base_seed + static_cast<std::uint64_t>(p * 1e7),
-            [&](int rep, std::uint64_t seed) {
-                models::ChurnConfig cfg;
-                cfg.side = side;
-                cfg.k = k;
-                cfg.churn_rate = p;
-                cfg.seed = seed;
-                cfg.reset_knowledge = true;
-                const auto reset = models::run_churn_broadcast(cfg, cap);
-                cfg.reset_knowledge = false;
-                const auto reloc = models::run_churn_broadcast(cfg, cap);
-                const auto base = static_cast<std::size_t>(rep) * 4;
-                slots[base + 0] = reset.completed ? static_cast<double>(reset.broadcast_time)
-                                                  : (reset.extinct ? -1.0 : -2.0);
-                slots[base + 1] = reset.extinct ? 1.0 : 0.0;
-                slots[base + 2] =
-                    reloc.completed ? static_cast<double>(reloc.broadcast_time) : -2.0;
-                slots[base + 3] = 0.0;
-                return 0.0;
-            });
-        for (int rep = 0; rep < reps; ++rep) {
-            const auto base = static_cast<std::size_t>(rep) * 4;
-            if (slots[base + 0] >= 0.0) {
-                reset_tb.add(slots[base + 0]);
-                ++reset_done;
-            }
-            reset_extinct += slots[base + 1] > 0.5;
-            if (slots[base + 2] >= 0.0) {
-                reloc_tb.add(slots[base + 2]);
-                ++reloc_done;
-            }
-        }
-        reset_extinct_total += reset_extinct;
-        if (p == 0.0) reloc_baseline = reloc_tb.mean();
-        if (p == 0.02) reloc_high_churn = reloc_tb.mean();
+    for (std::size_t i = 0; i + 1 < points.size(); i += 2) {
+        const auto& reset = points[i];
+        const auto& reloc = points[i + 1];
+        const double p = std::stod(reset.params.at("rate"));
+        const auto reset_done =
+            static_cast<std::int64_t>(reset.metric("completed").mean() * options.reps + 0.5);
+        const auto reset_extinct =
+            static_cast<std::int64_t>(reset.metric("extinct").mean() * options.reps + 0.5);
+        const auto reloc_done =
+            static_cast<std::int64_t>(reloc.metric("completed").mean() * options.reps + 0.5);
+        const bool reset_any = reset.metrics.count("broadcast_time") > 0;
+        const bool reloc_any = reloc.metrics.count("broadcast_time") > 0;
+        const double reloc_tb = reloc_any ? reloc.metric("broadcast_time").mean() : -1.0;
+        if (p == 0.0) reloc_baseline = reloc_tb;
+        if (p == 0.02) reloc_high_churn = reloc_tb;
         table.add_row({stats::fmt(p, 4),
-                       stats::fmt(std::int64_t{reset_done}) + "/" +
-                           stats::fmt(std::int64_t{reset_extinct}),
-                       reset_done > 0 ? stats::fmt(reset_tb.mean()) : "-",
-                       stats::fmt(std::int64_t{reloc_done}),
-                       reloc_done > 0 ? stats::fmt(reloc_tb.mean()) : "-"});
+                       stats::fmt(reset_done) + "/" + stats::fmt(reset_extinct),
+                       reset_any ? stats::fmt(reset.metric("broadcast_time").mean()) : "-",
+                       stats::fmt(reloc_done),
+                       reloc_any ? stats::fmt(reloc_tb) : "-"});
     }
     bench::emit(table, args);
 
-    std::cout << "\n(reset column counts completed/extinct runs out of " << reps
+    std::cout << "\n(reset column counts completed/extinct runs out of " << options.reps
               << "; relocation churn keeps knowledge, so it always completes)\n";
     bench::verdict(reloc_high_churn > 0.0 && reloc_high_churn < reloc_baseline,
                    "teleport-mixing accelerates broadcast; encounters are the bottleneck");

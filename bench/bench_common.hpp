@@ -13,12 +13,43 @@
 #include <iostream>
 #include <string>
 
+#include "exp/runner.hpp"
 #include "sim/args.hpp"
 #include "stats/bootstrap.hpp"
 #include "stats/running_stats.hpp"
 #include "stats/table.hpp"
 
 namespace smn::bench {
+
+/// "4,8,16,..." doubling axis text for sweep k-axes: lo, 2·lo, … up to hi.
+[[nodiscard]] inline std::string doubling_axis(std::int64_t lo, std::int64_t hi) {
+    std::string text;
+    for (std::int64_t v = lo; v <= hi; v *= 2) {
+        if (!text.empty()) text += ',';
+        text += std::to_string(v);
+    }
+    return text;
+}
+
+/// True when at least one replication of the point reported `name`; use
+/// before PointResult::metric() for conditional metrics like
+/// "broadcast_time", which capped-out replications omit.
+[[nodiscard]] inline bool has_metric(const exp::PointResult& point, const std::string& name) {
+    return point.metrics.count(name) > 0;
+}
+
+/// Consumes the shared lab options (--reps, --seed, --threads, --quick)
+/// into exp::RunOptions for benches that run registered scenarios.
+[[nodiscard]] inline exp::RunOptions run_options(sim::Args& args, int quick_reps,
+                                                 int full_reps,
+                                                 std::int64_t default_seed) {
+    exp::RunOptions options;
+    options.quick = args.quick();
+    options.reps = static_cast<int>(args.get_int("reps", options.quick ? quick_reps : full_reps));
+    options.seed = static_cast<std::uint64_t>(args.get_int("seed", default_seed));
+    options.threads = args.threads();
+    return options;
+}
 
 /// Prints the standard experiment banner.
 inline void print_header(const std::string& id, const std::string& title,

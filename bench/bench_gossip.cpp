@@ -1,75 +1,66 @@
-// bench_gossip — Experiment E5.
+// bench_gossip — Experiment E5, running the registered "gossip" and
+// "grid_broadcast" lab scenarios over a k sweep.
 //
 // Claim (Corollary 2): the gossip time T_G (k distinct rumors, all-to-all)
 // obeys the same Θ̃(n/√k) bound as a single broadcast. We sweep k at fixed
-// n and report T_G, the slowest/fastest per-rumor broadcast times, and the
-// ratio T_G / T_B against a matched single-rumor run.
+// n and report T_G, the per-rumor broadcast times, and the ratio T_G / T_B
+// against a matched single-rumor sweep.
+#include <cmath>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/broadcast.hpp"
-#include "core/gossip.hpp"
-#include "sim/runner.hpp"
+#include "exp/scenarios.hpp"
 #include "stats/regression.hpp"
 
 int main(int argc, char** argv) {
     using namespace smn;
+    exp::register_builtin_scenarios();
     sim::Args args{argc, argv};
-    const auto side = static_cast<grid::Coord>(args.get_int("side", args.quick() ? 24 : 48));
-    const int reps = static_cast<int>(args.get_int("reps", args.quick() ? 6 : 20));
-    const auto base_seed = static_cast<std::uint64_t>(args.get_int("seed", 20110605));
+    const auto side = args.get_int("side", args.quick() ? 24 : 48);
     const auto k_max = args.get_int("kmax", args.quick() ? 32 : 128);
+    auto options = bench::run_options(args, 6, 20, 20110605);
     args.reject_unknown();
 
-    const std::int64_t n = std::int64_t{side} * side;
+    const std::int64_t n = side * side;
     bench::print_header("E5", "gossip time (k rumors, all-to-all)",
                         "T_G = O~(n/sqrt(k)), same scale as broadcast (Cor 2)");
-    std::cout << "n = " << n << ", reps = " << reps << "\n\n";
+    std::cout << "n = " << n << ", reps = " << options.reps << "\n\n";
+
+    const auto side_text =
+        "side=" + std::to_string(side) + ";k=" + bench::doubling_axis(4, k_max);
+    // The two sweeps use independent per-scenario seeds, so T_G/T_B
+    // compares independent estimates (slightly noisier than the old
+    // same-seed pairing; raise --reps for tighter ratios).
+    const auto& registry = exp::ScenarioRegistry::instance();
+    const auto gossip =
+        exp::run_sweep(registry.at("gossip"), exp::SweepSpec::parse(side_text), options);
+    const auto broadcast = exp::run_sweep(registry.at("grid_broadcast"),
+                                          exp::SweepSpec::parse(side_text + ";radius=0"),
+                                          options);
 
     stats::Table table{{"k", "mean T_G", "stderr", "mean T_B", "T_G/T_B", "mean rumor T_B",
                         "T_G*sqrt(k)/n"}};
     std::vector<double> ks;
     std::vector<double> tgs;
-    for (std::int64_t k = 4; k <= k_max; k *= 2) {
-        // Per-replication results are written into preallocated slots so the
-        // parallel workers never contend.
-        std::vector<double> tg_vals(static_cast<std::size_t>(reps));
-        std::vector<double> tb_vals(static_cast<std::size_t>(reps));
-        std::vector<double> rumor_means(static_cast<std::size_t>(reps));
-        (void)sim::run_replications(
-            reps, base_seed + static_cast<std::uint64_t>(k),
-            [&](int rep, std::uint64_t seed) {
-                core::EngineConfig cfg;
-                cfg.side = side;
-                cfg.k = static_cast<std::int32_t>(k);
-                cfg.radius = 0;
-                cfg.seed = seed;
-                const auto g = core::run_gossip(cfg, 1 << 28);
-                const auto b = core::run_broadcast(cfg, {.max_steps = 1 << 28});
-                tg_vals[static_cast<std::size_t>(rep)] = static_cast<double>(g.gossip_time);
-                tb_vals[static_cast<std::size_t>(rep)] = static_cast<double>(b.broadcast_time);
-                rumor_means[static_cast<std::size_t>(rep)] = g.mean_rumor_broadcast_time;
-                return 0.0;
-            });
-        stats::RunningStats tg_stats;
-        stats::RunningStats tb_stats;
-        stats::RunningStats mean_rumor_stats;
-        for (int rep = 0; rep < reps; ++rep) {
-            tg_stats.add(tg_vals[static_cast<std::size_t>(rep)]);
-            tb_stats.add(tb_vals[static_cast<std::size_t>(rep)]);
-            mean_rumor_stats.add(rumor_means[static_cast<std::size_t>(rep)]);
+    for (std::size_t i = 0; i < gossip.size(); ++i) {
+        const double k = std::stod(gossip[i].params.at("k"));
+        if (!bench::has_metric(gossip[i], "gossip_time") ||
+            !bench::has_metric(broadcast[i], "broadcast_time")) {
+            std::cout << "k=" << k << ": no replication completed within the cap\n";
+            continue;
         }
-        table.add_row(
-            {stats::fmt(k), stats::fmt(tg_stats.mean()), stats::fmt(tg_stats.stderr_mean(), 3),
-             stats::fmt(tb_stats.mean()),
-             stats::fmt(tg_stats.mean() / std::max(1.0, tb_stats.mean()), 3),
-             stats::fmt(mean_rumor_stats.mean()),
-             stats::fmt(tg_stats.mean() * std::sqrt(static_cast<double>(k)) /
-                            static_cast<double>(n),
-                        3)});
-        ks.push_back(static_cast<double>(k));
-        tgs.push_back(tg_stats.mean());
+        const auto& tg = gossip[i].metric("gossip_time");
+        const auto& tb = broadcast[i].metric("broadcast_time");
+        const auto& rumor = gossip[i].metric("mean_rumor_broadcast_time");
+        table.add_row({stats::fmt(static_cast<std::int64_t>(k)), stats::fmt(tg.mean()),
+                       stats::fmt(tg.stderr_mean(), 3), stats::fmt(tb.mean()),
+                       stats::fmt(tg.mean() / std::max(1.0, tb.mean()), 3),
+                       stats::fmt(rumor.mean()),
+                       stats::fmt(tg.mean() * std::sqrt(k) / static_cast<double>(n), 3)});
+        ks.push_back(k);
+        tgs.push_back(tg.mean());
     }
     bench::emit(table, args);
 

@@ -1,4 +1,5 @@
-// bench_meeting_time — Experiment E21.
+// bench_meeting_time — Experiment E21, running the registered
+// "meeting_time" lab scenario over sides × start geometries.
 //
 // Context (Sec. 1.1): the general infection bound of [10] is O(t* log k)
 // with t* = max expected pairwise meeting time = O(n log n) on the grid
@@ -10,77 +11,54 @@
 // parallel, and the paper's cell argument converts that into a √k gain.
 #include <cmath>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "sim/runner.hpp"
+#include "exp/scenarios.hpp"
 #include "stats/regression.hpp"
-#include "walk/ensemble.hpp"
-#include "walk/meeting_time.hpp"
 
 int main(int argc, char** argv) {
     using namespace smn;
+    exp::register_builtin_scenarios();
     sim::Args args{argc, argv};
-    const int reps = static_cast<int>(args.get_int("reps", args.quick() ? 30 : 120));
-    const auto base_seed = static_cast<std::uint64_t>(args.get_int("seed", 20110621));
+    auto options = bench::run_options(args, 30, 120, 20110621);
     args.reject_unknown();
 
     bench::print_header("E21", "pairwise first-meeting times",
                         "t* = O(n log n) on the grid ([1], quoted in Sec. 1.1)");
-    std::cout << "reps = " << reps << " pairs per cell\n\n";
+    std::cout << "reps = " << options.reps << " pairs per cell\n\n";
 
+    const std::string sides = options.quick ? "8,12,16,24" : "8,12,16,24,32,48";
+    const auto sweep = exp::SweepSpec::parse("side=" + sides +
+                                             ";starts=random,adjacent,corners;capx=400");
+    const auto& scenario = exp::ScenarioRegistry::instance().at("meeting_time");
+    const auto points = exp::run_sweep(scenario, sweep, options);
+
+    // Rows are per side; the three start geometries of a side land in three
+    // consecutive sweep points (starts is the faster axis).
     stats::Table table{{"side", "n", "random starts", "adjacent", "opposite corners",
                         "corners/(n ln n)"}};
-    const std::vector<grid::Coord> sides = args.quick()
-                                               ? std::vector<grid::Coord>{8, 12, 16, 24}
-                                               : std::vector<grid::Coord>{8, 12, 16, 24, 32, 48};
     std::vector<double> ns;
     std::vector<double> corner_means;
-    for (const auto side : sides) {
-        const auto g = grid::Grid2D::square(side);
-        const std::int64_t n = g.size();
-        const auto cap = static_cast<std::int64_t>(
-            400.0 * static_cast<double>(n) * std::log(static_cast<double>(n)));
-
-        const auto measure = [&](auto pick_starts, std::uint64_t salt) {
-            const auto sample = sim::sample_replications(
-                reps, base_seed + static_cast<std::uint64_t>(side) * 97 + salt,
-                [&](int, std::uint64_t seed) {
-                    rng::Rng rng{seed};
-                    const auto [a0, b0] = pick_starts(rng);
-                    return static_cast<double>(
-                        walk::first_meeting_time(g, a0, b0, cap, rng).value_or(cap));
-                });
-            return sample.mean();
-        };
-
-        const double random_mean = measure(
-            [&](rng::Rng& rng) {
-                return std::pair{walk::AgentEnsemble::random_node(g, rng),
-                                 walk::AgentEnsemble::random_node(g, rng)};
-            },
-            1);
-        const double adjacent_mean = measure(
-            [&](rng::Rng& rng) {
-                const auto a = g.clamp(grid::Point{
-                    static_cast<grid::Coord>(rng.below(static_cast<std::uint64_t>(side - 1))),
-                    static_cast<grid::Coord>(rng.below(static_cast<std::uint64_t>(side)))});
-                return std::pair{a, grid::Point{static_cast<grid::Coord>(a.x + 1), a.y}};
-            },
-            2);
-        const double corner_mean = measure(
-            [&](rng::Rng&) {
-                return std::pair{grid::Point{0, 0},
-                                 grid::Point{static_cast<grid::Coord>(side - 1),
-                                             static_cast<grid::Coord>(side - 1)}};
-            },
-            3);
-
-        const double nlogn = static_cast<double>(n) * std::log(static_cast<double>(n));
-        table.add_row({stats::fmt(std::int64_t{side}), stats::fmt(n),
+    for (std::size_t i = 0; i + 2 < points.size(); i += 3) {
+        const std::int64_t side = std::stoll(points[i].params.at("side"));
+        const auto n = static_cast<double>(side * side);
+        double random_mean = 0.0;
+        double adjacent_mean = 0.0;
+        double corner_mean = 0.0;
+        for (std::size_t j = i; j < i + 3; ++j) {
+            const double mean = points[j].metric("meeting_time").mean();
+            const auto& starts = points[j].params.at("starts");
+            if (starts == "random") random_mean = mean;
+            if (starts == "adjacent") adjacent_mean = mean;
+            if (starts == "corners") corner_mean = mean;
+        }
+        const double nlogn = n * std::log(n);
+        table.add_row({stats::fmt(side), stats::fmt(static_cast<std::int64_t>(n)),
                        stats::fmt(random_mean), stats::fmt(adjacent_mean),
                        stats::fmt(corner_mean), stats::fmt(corner_mean / nlogn, 3)});
-        ns.push_back(static_cast<double>(n));
+        ns.push_back(n);
         corner_means.push_back(corner_mean);
     }
     bench::emit(table, args);

@@ -1,4 +1,5 @@
-// bench_radius_sweep — Experiment E3, the paper's headline.
+// bench_radius_sweep — Experiment E3, the paper's headline, running the
+// registered "percolation_radius" lab scenario.
 //
 // Claim (Theorems 1+2): below the percolation point r_c ≈ √(n/k) the
 // broadcast time does not depend on the transmission radius — T_B stays at
@@ -7,55 +8,52 @@
 //
 // Output: T_B vs r/r_c. The paper's prediction is a plateau left of 1.0
 // and a cliff right of it.
+#include <algorithm>
+#include <cmath>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/bounds.hpp"
-#include "core/broadcast.hpp"
+#include "exp/scenarios.hpp"
 #include "graph/percolation.hpp"
-#include "sim/runner.hpp"
 
 int main(int argc, char** argv) {
     using namespace smn;
+    exp::register_builtin_scenarios();
     sim::Args args{argc, argv};
-    const auto side = static_cast<grid::Coord>(args.get_int("side", args.quick() ? 32 : 64));
-    const auto k = static_cast<std::int32_t>(args.get_int("k", args.quick() ? 16 : 64));
-    const int reps = static_cast<int>(args.get_int("reps", args.quick() ? 8 : 30));
-    const auto base_seed = static_cast<std::uint64_t>(args.get_int("seed", 20110603));
+    const auto side = args.get_int("side", args.quick() ? 32 : 64);
+    const auto k = args.get_int("k", args.quick() ? 16 : 64);
+    auto options = bench::run_options(args, 8, 30, 20110603);
     args.reject_unknown();
 
-    const std::int64_t n = std::int64_t{side} * side;
+    const std::int64_t n = side * side;
     const double rc = graph::percolation_radius(n, k);
     bench::print_header("E3", "broadcast time vs transmission radius",
                         "T_B independent of r below r_c; collapse above (Thm 1+2, [25])");
     std::cout << "n = " << n << ", k = " << k << ", r_c = " << stats::fmt(rc, 3)
-              << ", reps = " << reps << "\n\n";
+              << ", reps = " << options.reps << "\n\n";
 
-    // Radii covering [0, 2.5 r_c].
-    std::vector<std::int64_t> radii{0};
-    for (const double frac : {0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0, 1.25, 1.5, 2.0, 2.5}) {
-        const auto r = static_cast<std::int64_t>(frac * rc + 0.5);
-        if (r > 0 && r != radii.back()) radii.push_back(r);
-    }
+    const auto sweep = exp::SweepSpec::parse(
+        "side=" + std::to_string(side) + ";k=" + std::to_string(k) +
+        ";rfrac=0,0.125,0.25,0.375,0.5,0.625,0.75,0.875,1,1.25,1.5,2,2.5");
+    const auto& scenario = exp::ScenarioRegistry::instance().at("percolation_radius");
 
     stats::Table table{{"r", "r/r_c", "regime", "mean T_B", "stderr", "median",
                         "T_B*sqrt(k)/n"}};
     double plateau_min = 1e300;
     double plateau_max = 0.0;
     double super_min = 1e300;
-    for (const auto r : radii) {
-        const auto sample = sim::sample_replications(
-            reps, base_seed + static_cast<std::uint64_t>(r * 131),
-            [&](int, std::uint64_t seed) {
-                core::EngineConfig cfg;
-                cfg.side = side;
-                cfg.k = k;
-                cfg.radius = r;
-                cfg.seed = seed;
-                return static_cast<double>(
-                    core::run_broadcast(cfg, {.max_steps = 1 << 28}).broadcast_time);
-            });
+    std::int64_t last_radius = -1;
+    for (const auto& point : exp::run_sweep(scenario, sweep, options)) {
+        const auto r = static_cast<std::int64_t>(point.metric("radius").mean());
+        if (r == last_radius) continue;  // distinct rfrac rounding to the same r
+        last_radius = r;
+        if (!bench::has_metric(point, "broadcast_time")) {
+            std::cout << "r=" << r << ": no replication completed within the cap\n";
+            continue;
+        }
+        const auto& sample = point.metric("broadcast_time");
         const auto regime = graph::classify_regime(n, k, r);
         const double frac = static_cast<double>(r) / rc;
         if (frac < 0.8) {

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Quick experiment-lab pass: run every registered scenario's quick sweep,
+# write the JSONL results (the artifact CI uploads to seed the bench
+# trajectory), and assert the determinism contract — the same seed must
+# produce byte-identical results at different --threads values.
+# Usage: scripts/lab_quick.sh [build-dir] [out-dir]
+set -euo pipefail
+
+build_dir="${1:-build}"
+out_dir="${2:-results}"
+
+"${build_dir}/smn_lab" --list >/dev/null
+
+# The shipped artifact: quick sweep of every scenario, with timings.
+"${build_dir}/smn_lab" --quick --reps=3 --out="${out_dir}/quick.jsonl" --timings
+
+# Determinism check: identical bytes at 1 vs 7 worker threads (timings off,
+# since wall-clock is host-dependent by design).
+"${build_dir}/smn_lab" --quick --reps=3 --threads=1 --out="${out_dir}/det-t1.jsonl"
+"${build_dir}/smn_lab" --quick --reps=3 --threads=7 --out="${out_dir}/det-t7.jsonl"
+if ! cmp "${out_dir}/det-t1.jsonl" "${out_dir}/det-t7.jsonl"; then
+    echo "ERROR: smn_lab results differ between --threads=1 and --threads=7" >&2
+    exit 1
+fi
+rm -f "${out_dir}/det-t1.jsonl" "${out_dir}/det-t7.jsonl"
+
+echo "lab quick pass OK: $(wc -l < "${out_dir}/quick.jsonl") records in ${out_dir}/quick.jsonl"

@@ -1,0 +1,39 @@
+// meter.hpp — wall-clock and throughput capture for experiment runs.
+//
+// A Meter wraps one parameter point: start() before the replications,
+// stop() after, add_steps() with whatever the replications report through
+// the reserved "steps" metric. Timing is observational only — it never
+// enters the deterministic result record unless the caller explicitly asks
+// for it (`smn_lab --timings`), so result files stay bit-identical across
+// machines and thread counts.
+#pragma once
+
+#include <chrono>
+
+namespace smn::exp {
+
+/// Wall-clock + simulated-steps meter for one run.
+class Meter {
+public:
+    void start() noexcept { begin_ = clock::now(); }
+    void stop() noexcept {
+        wall_seconds_ += std::chrono::duration<double>(clock::now() - begin_).count();
+    }
+
+    void add_steps(double steps) noexcept { steps_ += steps; }
+
+    [[nodiscard]] double wall_seconds() const noexcept { return wall_seconds_; }
+    [[nodiscard]] double steps() const noexcept { return steps_; }
+    /// Simulated steps per wall-clock second; 0 when nothing was measured.
+    [[nodiscard]] double steps_per_second() const noexcept {
+        return wall_seconds_ > 0.0 ? steps_ / wall_seconds_ : 0.0;
+    }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point begin_{};
+    double wall_seconds_{0.0};
+    double steps_{0.0};
+};
+
+}  // namespace smn::exp

@@ -1,0 +1,98 @@
+#include "exp/runner.hpp"
+
+#include <exception>
+#include <stdexcept>
+
+#include "rng/rng.hpp"
+
+namespace smn::exp {
+namespace {
+
+std::uint64_t fnv1a(const std::string& text, std::uint64_t hash) noexcept {
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001B3ULL;
+    }
+    return hash;
+}
+
+}  // namespace
+
+const stats::Sample& PointResult::metric(const std::string& name) const {
+    const auto it = metrics.find(name);
+    if (it == metrics.end()) {
+        throw std::out_of_range("point '" + scenario + "/" + canonical_point(params) +
+                                "' has no metric '" + name + "'");
+    }
+    return it->second;
+}
+
+std::uint64_t point_seed(std::uint64_t base, const std::string& scenario,
+                         const ParamValues& values) noexcept {
+    std::uint64_t hash = fnv1a(scenario, 0xCBF29CE484222325ULL);
+    hash = fnv1a("\x1f" + canonical_point(values), hash);
+    return rng::mix64(base ^ rng::mix64(hash));
+}
+
+PointResult run_point(const Scenario& scenario, const ParamValues& values,
+                      const RunOptions& options) {
+    if (options.reps < 1) throw std::invalid_argument("run_point: reps must be >= 1");
+    const ScenarioParams params{scenario.params, values};
+
+    PointResult result;
+    result.scenario = scenario.name;
+    result.params = values;
+    result.reps = options.reps;
+    result.seed = point_seed(options.seed, scenario.name, values);
+
+    // Each replication writes its metrics into a preallocated slot; the
+    // ordered aggregation below is what makes the result thread-invariant.
+    // Exceptions are captured per slot and rethrown on the caller's thread:
+    // run_replications workers are plain std::threads, so a throwing body
+    // (e.g. lazy parameter validation inside run_rep) would otherwise hit
+    // std::terminate — and only when threads > 1.
+    std::vector<Metrics> rep_metrics(static_cast<std::size_t>(options.reps));
+    std::vector<std::exception_ptr> rep_errors(static_cast<std::size_t>(options.reps));
+    const int threads = options.threads > 0 ? options.threads : sim::default_threads();
+    Meter meter;
+    meter.start();
+    (void)sim::run_replications(
+        options.reps, result.seed,
+        [&](int rep, std::uint64_t seed) {
+            try {
+                rep_metrics[static_cast<std::size_t>(rep)] = scenario.run_rep(params, seed);
+            } catch (...) {
+                rep_errors[static_cast<std::size_t>(rep)] = std::current_exception();
+            }
+            return 0.0;
+        },
+        threads);
+    meter.stop();
+    for (const auto& error : rep_errors) {
+        if (error) std::rethrow_exception(error);
+    }
+
+    for (const auto& metrics : rep_metrics) {
+        for (const auto& [name, value] : metrics) {
+            result.metrics[name].add(value);
+            if (name == "steps") meter.add_steps(value);
+        }
+    }
+    result.wall_seconds = meter.wall_seconds();
+    result.steps = meter.steps();
+    result.steps_per_second = meter.steps_per_second();
+    return result;
+}
+
+std::vector<PointResult> run_sweep(const Scenario& scenario, const SweepSpec& sweep,
+                                   const RunOptions& options) {
+    std::vector<PointResult> results;
+    const auto points = sweep.points();
+    results.reserve(points.size());
+    for (const auto& point : points) {
+        results.push_back(run_point(scenario, point, options));
+    }
+    return results;
+}
+
+}  // namespace smn::exp

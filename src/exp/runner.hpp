@@ -1,0 +1,66 @@
+// runner.hpp — executes scenarios over parameter points and replications.
+//
+// run_point() executes one (scenario, parameter point): `reps`
+// replications farmed over sim::run_replications workers, each with a seed
+// derived deterministically from (base seed, scenario name, canonical
+// parameter point, replication index). Aggregation walks replications in
+// index order, so every statistic — and therefore every emitted record —
+// is bit-identical regardless of the thread count. run_sweep() maps
+// run_point over a SweepSpec cross-product.
+//
+// Seeds are decoupled from sweep *shape*: a point's seed depends only on
+// its own canonical parameters, so adding an axis value to a sweep never
+// shifts the seeds (and thus the results) of the points already in it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/meter.hpp"
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+#include "sim/runner.hpp"
+#include "stats/running_stats.hpp"
+
+namespace smn::exp {
+
+/// Execution options shared by every point of a run.
+struct RunOptions {
+    int reps{8};                         ///< replications per parameter point
+    std::uint64_t seed{20110601};        ///< base seed of the whole run
+    int threads{0};                      ///< 0 → sim::default_threads()
+    bool quick{false};                   ///< propagated from --quick
+};
+
+/// Aggregated result of one (scenario, parameter point).
+struct PointResult {
+    std::string scenario;                       ///< scenario name
+    ParamValues params;                         ///< raw sweep-bound values
+    int reps{0};                                ///< replications executed
+    std::uint64_t seed{0};                      ///< derived point seed
+    std::map<std::string, stats::Sample> metrics;  ///< per-metric samples
+    double wall_seconds{0.0};                   ///< meter: wall clock
+    double steps{0.0};                          ///< meter: total "steps"
+    double steps_per_second{0.0};               ///< meter: throughput
+
+    /// Sample for `name`; throws std::out_of_range when no replication
+    /// reported it.
+    [[nodiscard]] const stats::Sample& metric(const std::string& name) const;
+};
+
+/// Deterministic seed of a parameter point (exposed for tests).
+[[nodiscard]] std::uint64_t point_seed(std::uint64_t base, const std::string& scenario,
+                                       const ParamValues& values) noexcept;
+
+/// Runs one parameter point of a scenario.
+[[nodiscard]] PointResult run_point(const Scenario& scenario, const ParamValues& values,
+                                    const RunOptions& options);
+
+/// Runs every point of the sweep in cross-product order.
+[[nodiscard]] std::vector<PointResult> run_sweep(const Scenario& scenario,
+                                                 const SweepSpec& sweep,
+                                                 const RunOptions& options);
+
+}  // namespace smn::exp

@@ -1,0 +1,140 @@
+#include "exp/scenario.hpp"
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace smn::exp {
+namespace {
+
+const ParamSpec& spec_for(const std::vector<ParamSpec>& specs, const std::string& key) {
+    for (const auto& spec : specs) {
+        if (spec.key == key) return spec;
+    }
+    throw std::invalid_argument("scenario: undeclared parameter '" + key + "'");
+}
+
+}  // namespace
+
+std::int64_t resolve_count(const std::string& value, std::int64_t n) {
+    if (n < 1) throw std::invalid_argument("resolve_count: n must be >= 1");
+    const auto dn = static_cast<double>(n);
+    if (value == "log") {
+        return std::max<std::int64_t>(1, static_cast<std::int64_t>(std::ceil(std::log2(dn))));
+    }
+    if (value == "sqrt") {
+        return std::max<std::int64_t>(1, static_cast<std::int64_t>(std::ceil(std::sqrt(dn))));
+    }
+    if (value == "linear") return n;
+    try {
+        std::size_t used = 0;
+        const std::int64_t parsed = std::stoll(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        return parsed;
+    } catch (const std::exception&) {
+        throw std::invalid_argument("resolve_count: want an integer or log/sqrt/linear, got '" +
+                                    value + "'");
+    }
+}
+
+ScenarioParams::ScenarioParams(const std::vector<ParamSpec>& specs, ParamValues values)
+    : specs_{&specs}, values_{std::move(values)} {
+    for (const auto& [key, value] : values_) spec_for(specs, key);  // typo check
+}
+
+const std::string& ScenarioParams::get_string(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it != values_.end()) return it->second;
+    return spec_for(*specs_, key).fallback;
+}
+
+std::int64_t ScenarioParams::get_int(const std::string& key) const {
+    const auto& value = get_string(key);
+    try {
+        std::size_t used = 0;
+        const std::int64_t parsed = std::stoll(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        return parsed;
+    } catch (const std::exception&) {
+        throw std::invalid_argument("param '" + key + "' expects an integer, got '" + value +
+                                    "'");
+    }
+}
+
+double ScenarioParams::get_double(const std::string& key) const {
+    const auto& value = get_string(key);
+    try {
+        std::size_t used = 0;
+        const double parsed = std::stod(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        return parsed;
+    } catch (const std::exception&) {
+        throw std::invalid_argument("param '" + key + "' expects a number, got '" + value + "'");
+    }
+}
+
+std::int64_t ScenarioParams::get_count(const std::string& key, std::int64_t n) const {
+    try {
+        return resolve_count(get_string(key), n);
+    } catch (const std::invalid_argument& err) {
+        throw std::invalid_argument("param '" + key + "': " + err.what());
+    }
+}
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+    static ScenarioRegistry registry;
+    return registry;
+}
+
+void ScenarioRegistry::add(Scenario scenario) {
+    if (scenario.name.empty()) throw std::invalid_argument("scenario: empty name");
+    if (!scenario.run_rep) {
+        throw std::invalid_argument("scenario '" + scenario.name + "': missing run_rep body");
+    }
+    std::set<std::string> keys;
+    for (const auto& spec : scenario.params) {
+        if (!keys.insert(spec.key).second) {
+            throw std::invalid_argument("scenario '" + scenario.name +
+                                        "': duplicate parameter '" + spec.key + "'");
+        }
+    }
+    // Validate the canned sweeps against the declared parameters so a typo
+    // in a registration fails at startup, not at --quick time in CI.
+    for (const auto* sweep : {&scenario.default_sweep, &scenario.quick_sweep}) {
+        const auto parsed = SweepSpec::parse(*sweep);
+        for (const auto& [key, values] : parsed.axes()) {
+            if (!keys.count(key)) {
+                throw std::invalid_argument("scenario '" + scenario.name + "': sweep axis '" +
+                                            key + "' is not a declared parameter");
+            }
+        }
+    }
+    const auto name = scenario.name;
+    if (!by_name_.emplace(name, std::move(scenario)).second) {
+        throw std::invalid_argument("scenario '" + name + "' registered twice");
+    }
+}
+
+const Scenario* ScenarioRegistry::find(const std::string& name) const noexcept {
+    const auto it = by_name_.find(name);
+    return it == by_name_.end() ? nullptr : &it->second;
+}
+
+const Scenario& ScenarioRegistry::at(const std::string& name) const {
+    if (const auto* scenario = find(name)) return *scenario;
+    std::string known;
+    for (const auto& [key, value] : by_name_) {
+        if (!known.empty()) known += ", ";
+        known += key;
+    }
+    throw std::out_of_range("unknown scenario '" + name + "' (registered: " + known + ")");
+}
+
+std::vector<const Scenario*> ScenarioRegistry::all() const {
+    std::vector<const Scenario*> out;
+    out.reserve(by_name_.size());
+    for (const auto& [name, scenario] : by_name_) out.push_back(&scenario);
+    return out;
+}
+
+}  // namespace smn::exp

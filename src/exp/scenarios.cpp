@@ -1,0 +1,12 @@
+#include "exp/scenarios.hpp"
+
+namespace smn::exp {
+
+void register_builtin_scenarios() {
+    link_scenarios_broadcast();
+    link_scenarios_gossip();
+    link_scenarios_walk();
+    link_scenarios_churn();
+}
+
+}  // namespace smn::exp

@@ -1,0 +1,33 @@
+// scenarios.hpp — the built-in scenario catalogue.
+//
+// Each scenarios_*.cpp translation unit registers its workloads through
+// static ScenarioRegistrar objects. Because libsmn is a static archive,
+// an object file whose only content is a static initializer would be
+// dropped by the linker; register_builtin_scenarios() references an anchor
+// symbol in every scenario TU, forcing them all into the final binary (and
+// with them, their registrars). Call it once at the top of main() — it is
+// idempotent and cheap.
+//
+// Built-in scenarios (all r = 0 unless the scenario sweeps the radius):
+//   grid_broadcast     — the paper's main process, T_B on the √n×√n grid
+//   frog_broadcast     — Frog model (Sec. 4): only informed agents move
+//   torus_broadcast    — boundary ablation: same process on the torus
+//   percolation_radius — T_B vs r/r_c across the percolation boundary
+//   gossip             — k rumors all-to-all (Corollary 2)
+//   meeting_time       — pairwise first-meeting times (t* of Sec. 1.1)
+//   churn              — broadcast under agent replacement (extension)
+#pragma once
+
+namespace smn::exp {
+
+/// Forces every built-in scenario translation unit to be linked (and thus
+/// registered). Safe to call more than once.
+void register_builtin_scenarios();
+
+// Anchor symbols, one per scenario translation unit.
+void link_scenarios_broadcast();
+void link_scenarios_gossip();
+void link_scenarios_walk();
+void link_scenarios_churn();
+
+}  // namespace smn::exp

@@ -1,0 +1,97 @@
+#include "exp/sweep.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace smn::exp {
+namespace {
+
+std::string trim(const std::string& s) {
+    const auto first = s.find_first_not_of(" \t");
+    if (first == std::string::npos) return "";
+    const auto last = s.find_last_not_of(" \t");
+    return s.substr(first, last - first + 1);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (true) {
+        const auto pos = s.find(sep, start);
+        if (pos == std::string::npos) {
+            parts.push_back(s.substr(start));
+            return parts;
+        }
+        parts.push_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+}  // namespace
+
+SweepSpec SweepSpec::parse(const std::string& text) {
+    SweepSpec spec;
+    if (trim(text).empty()) return spec;
+    std::set<std::string> seen;
+    for (const auto& axis_text : split(text, ';')) {
+        if (trim(axis_text).empty()) {
+            throw std::invalid_argument("sweep: empty axis in '" + text + "'");
+        }
+        const auto eq = axis_text.find('=');
+        if (eq == std::string::npos) {
+            throw std::invalid_argument("sweep: axis '" + trim(axis_text) +
+                                        "' lacks '=value[,value...]'");
+        }
+        const std::string key = trim(axis_text.substr(0, eq));
+        if (key.empty()) throw std::invalid_argument("sweep: axis with empty name");
+        if (!seen.insert(key).second) {
+            throw std::invalid_argument("sweep: duplicate axis '" + key + "'");
+        }
+        std::vector<std::string> values;
+        for (const auto& raw : split(axis_text.substr(eq + 1), ',')) {
+            const std::string value = trim(raw);
+            if (value.empty()) {
+                throw std::invalid_argument("sweep: empty value for axis '" + key + "'");
+            }
+            values.push_back(value);
+        }
+        spec.axes_.emplace_back(key, std::move(values));
+    }
+    return spec;
+}
+
+std::size_t SweepSpec::size() const noexcept {
+    std::size_t total = 1;
+    for (const auto& [key, values] : axes_) total *= values.size();
+    return total;
+}
+
+std::vector<ParamValues> SweepSpec::points() const {
+    std::vector<ParamValues> points{ParamValues{}};
+    for (const auto& [key, values] : axes_) {
+        std::vector<ParamValues> next;
+        next.reserve(points.size() * values.size());
+        for (const auto& point : points) {
+            for (const auto& value : values) {
+                auto expanded = point;
+                expanded[key] = value;
+                next.push_back(std::move(expanded));
+            }
+        }
+        points = std::move(next);
+    }
+    return points;
+}
+
+std::string canonical_point(const ParamValues& values) {
+    std::string out;
+    for (const auto& [key, value] : values) {
+        if (!out.empty()) out += ';';
+        out += key;
+        out += '=';
+        out += value;
+    }
+    return out;
+}
+
+}  // namespace smn::exp

@@ -1,0 +1,52 @@
+// sweep.hpp — declarative parameter grids for the experiment lab.
+//
+// A sweep is a small expression over scenario parameters, e.g.
+//
+//     "side=16,24,32;k=log,sqrt;radius=0"
+//
+// Axes are separated by ';', each axis names a parameter and lists its
+// values (','-separated, whitespace-insensitive). points() expands the
+// cross-product in deterministic order: the FIRST axis varies slowest, so
+// "a=1,2;b=x,y" yields (1,x) (1,y) (2,x) (2,y). Values stay strings here;
+// typed interpretation (including symbolic counts like "log") happens when
+// a scenario binds them through ScenarioParams.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace smn::exp {
+
+/// One bound parameter point of a sweep: parameter name → raw value.
+using ParamValues = std::map<std::string, std::string>;
+
+/// A parsed sweep expression: ordered axes, each with ≥ 1 value.
+class SweepSpec {
+public:
+    /// Parses a sweep expression; throws std::invalid_argument on empty
+    /// axes, duplicate keys, missing '=', or empty values. The empty
+    /// string parses to a sweep with no axes (a single all-defaults point).
+    [[nodiscard]] static SweepSpec parse(const std::string& text);
+
+    [[nodiscard]] const std::vector<std::pair<std::string, std::vector<std::string>>>& axes()
+        const noexcept {
+        return axes_;
+    }
+
+    /// Number of points in the cross-product (1 for an empty sweep).
+    [[nodiscard]] std::size_t size() const noexcept;
+
+    /// Expands the cross-product; first axis varies slowest.
+    [[nodiscard]] std::vector<ParamValues> points() const;
+
+private:
+    std::vector<std::pair<std::string, std::vector<std::string>>> axes_;
+};
+
+/// Canonical "k=v;..." rendering of a parameter point (keys in map order,
+/// i.e. sorted). Used for seed derivation and log lines.
+[[nodiscard]] std::string canonical_point(const ParamValues& values);
+
+}  // namespace smn::exp

@@ -1,0 +1,122 @@
+#include "exp/writer.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "stats/table.hpp"
+
+namespace smn::exp {
+namespace {
+
+/// JSON number or null (for NaN/±inf, which JSON cannot represent).
+std::string json_number(double value) {
+    if (!std::isfinite(value)) return "null";
+    return format_double(value);
+}
+
+void append_stats_object(std::string& out, const stats::Sample& sample) {
+    out += "{\"count\":" + std::to_string(sample.count());
+    out += ",\"mean\":" + json_number(sample.mean());
+    out += ",\"stderr\":" + json_number(sample.stderr_mean());
+    out += ",\"median\":" + json_number(sample.median());
+    out += ",\"min\":" + json_number(sample.min());
+    out += ",\"max\":" + json_number(sample.max());
+    out += '}';
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+std::string format_double(double value) {
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+    if (ec != std::errc{}) return "0";
+    return std::string(buf, ptr);
+}
+
+void JsonlWriter::write(const PointResult& result) {
+    std::string line = "{\"schema\":1";
+    line += ",\"scenario\":\"" + json_escape(result.scenario) + '"';
+    line += ",\"params\":{";
+    bool first = true;
+    for (const auto& [key, value] : result.params) {
+        if (!first) line += ',';
+        first = false;
+        line += '"' + json_escape(key) + "\":\"" + json_escape(value) + '"';
+    }
+    line += "},\"reps\":" + std::to_string(result.reps);
+    line += ",\"seed\":" + std::to_string(result.seed);
+    line += ",\"metrics\":{";
+    first = true;
+    for (const auto& [name, sample] : result.metrics) {
+        if (!first) line += ',';
+        first = false;
+        line += '"' + json_escape(name) + "\":";
+        append_stats_object(line, sample);
+    }
+    line += '}';
+    if (timings_) {
+        line += ",\"timing\":{\"wall_s\":" + json_number(result.wall_seconds);
+        line += ",\"steps\":" + json_number(result.steps);
+        line += ",\"steps_per_s\":" + json_number(result.steps_per_second);
+        line += '}';
+    }
+    line += "}\n";
+    *os_ << line;
+}
+
+void CsvWriter::write(const PointResult& result) {
+    std::vector<std::string> headers{"scenario", "params", "seed",   "reps", "metric",
+                                     "count",    "mean",   "stderr", "median", "min", "max"};
+    if (timings_) {
+        headers.push_back("wall_s");
+        headers.push_back("steps_per_s");
+    }
+    stats::Table table{headers};
+    for (const auto& [name, sample] : result.metrics) {
+        std::vector<std::string> row{result.scenario,
+                                     canonical_point(result.params),
+                                     std::to_string(result.seed),
+                                     std::to_string(result.reps),
+                                     name,
+                                     std::to_string(sample.count()),
+                                     format_double(sample.mean()),
+                                     format_double(sample.stderr_mean()),
+                                     format_double(sample.median()),
+                                     format_double(sample.min()),
+                                     format_double(sample.max())};
+        if (timings_) {
+            row.push_back(format_double(result.wall_seconds));
+            row.push_back(format_double(result.steps_per_second));
+        }
+        table.add_row(std::move(row));
+    }
+    table.print_csv(*os_, !wrote_header_);
+    wrote_header_ = true;
+}
+
+}  // namespace smn::exp

@@ -1,0 +1,61 @@
+// writer.hpp — structured result emission for the experiment lab.
+//
+// One record per (scenario, parameter point): the aggregated replication
+// statistics of every metric the scenario reported. Two formats:
+//
+//   * JsonlWriter — one JSON object per line (the `results/*.jsonl`
+//     pipeline format; schema documented in docs/experiments.md and
+//     versioned via the "schema" field);
+//   * CsvWriter — long-format CSV (one row per metric per point), built on
+//     stats::Table so quoting matches every other CSV the repo emits.
+//
+// Numbers are rendered with std::to_chars shortest round-trip, so records
+// are byte-identical across platforms and runs — the property the
+// determinism acceptance test (`exp_test`) and `scripts/lab_quick.sh`
+// both check. Timing fields are opt-in: wall-clock depends on the host, so
+// including it would break byte-level comparison (see Meter).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "exp/runner.hpp"
+
+namespace smn::exp {
+
+/// JSON string escaping (quotes, backslash, control characters).
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+/// Shortest round-trip decimal rendering of a double ("nan"/"inf" are
+/// rendered as JSON null by the writer; CSV passes them through).
+[[nodiscard]] std::string format_double(double value);
+
+/// Emits one JSON object per PointResult on a single line.
+class JsonlWriter {
+public:
+    /// `timings` adds the host-dependent "timing" object to each record.
+    explicit JsonlWriter(std::ostream& os, bool timings = false)
+        : os_{&os}, timings_{timings} {}
+
+    void write(const PointResult& result);
+
+private:
+    std::ostream* os_;
+    bool timings_;
+};
+
+/// Long-format CSV: header once, then one row per metric per point.
+class CsvWriter {
+public:
+    explicit CsvWriter(std::ostream& os, bool timings = false)
+        : os_{&os}, timings_{timings} {}
+
+    void write(const PointResult& result);
+
+private:
+    std::ostream* os_;
+    bool timings_;
+    bool wrote_header_{false};
+};
+
+}  // namespace smn::exp

@@ -1,6 +1,10 @@
 #include "sim/args.hpp"
 
+#include <cstdlib>
+#include <iostream>
 #include <stdexcept>
+
+#include "sim/runner.hpp"
 
 namespace smn::sim {
 
@@ -17,6 +21,8 @@ Args::Args(int argc, const char* const* argv) {
                 quick_ = true;
             } else if (key == "csv") {
                 csv_ = true;
+            } else if (key == "help") {
+                help_ = true;
             } else {
                 flags_.insert(key);
             }
@@ -26,8 +32,12 @@ Args::Args(int argc, const char* const* argv) {
     }
 }
 
+void Args::declare(const std::string& key, const std::string& fallback) const {
+    if (known_.insert(key).second) declared_.emplace_back(key, fallback);
+}
+
 std::int64_t Args::get_int(const std::string& key, std::int64_t fallback) {
-    known_.insert(key);
+    declare(key, std::to_string(fallback));
     const auto it = values_.find(key);
     if (it == values_.end()) return fallback;
     try {
@@ -38,7 +48,7 @@ std::int64_t Args::get_int(const std::string& key, std::int64_t fallback) {
 }
 
 double Args::get_double(const std::string& key, double fallback) {
-    known_.insert(key);
+    declare(key, std::to_string(fallback));
     const auto it = values_.find(key);
     if (it == values_.end()) return fallback;
     try {
@@ -49,18 +59,36 @@ double Args::get_double(const std::string& key, double fallback) {
 }
 
 std::string Args::get_string(const std::string& key, const std::string& fallback) {
-    known_.insert(key);
+    declare(key, fallback.empty() ? "(empty)" : fallback);
     const auto it = values_.find(key);
     return it == values_.end() ? fallback : it->second;
 }
 
 bool Args::get_flag(const std::string& key) {
-    known_.insert(key);
+    declare(key, "(flag)");
     return flags_.count(key) > 0;
 }
 
+int Args::threads() const {
+    const auto it = values_.find("threads");
+    if (it == values_.end()) return default_threads();
+    try {
+        const int threads = std::stoi(it->second);
+        if (threads < 1) throw std::invalid_argument(it->second);
+        return threads;
+    } catch (const std::exception&) {
+        throw std::invalid_argument("--threads expects an integer >= 1, got '" + it->second +
+                                    "'");
+    }
+}
+
 void Args::reject_unknown() const {
+    if (help_) {
+        print_help(std::cout);
+        std::exit(0);
+    }
     for (const auto& [key, value] : values_) {
+        if (key == "threads") continue;  // built-in, consumed via threads()
         if (!known_.count(key)) {
             throw std::invalid_argument("unknown option --" + key + " (value '" + value + "')");
         }
@@ -70,6 +98,19 @@ void Args::reject_unknown() const {
             throw std::invalid_argument("unknown flag --" + key);
         }
     }
+}
+
+void Args::print_help(std::ostream& os) const {
+    os << "options (--key=value):\n";
+    for (const auto& [key, fallback] : declared_) {
+        os << "  --" << key << "  (default: " << fallback << ")\n";
+    }
+    os << "built-in:\n"
+       << "  --threads=N  worker threads (default: " << default_threads()
+       << ", env override SMN_THREADS)\n"
+       << "  --quick      shrink problem sizes for smoke runs\n"
+       << "  --csv        machine-readable CSV output\n"
+       << "  --help       this listing\n";
 }
 
 }  // namespace smn::sim

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <thread>
 #include <vector>
@@ -18,9 +19,18 @@
 
 namespace smn::sim {
 
-/// Number of worker threads to use by default (hardware concurrency,
-/// at least 1, at most 16).
+/// Number of worker threads to use by default: the SMN_THREADS environment
+/// variable when set to an integer in [1, 1024] (lets CI and scripts pin
+/// concurrency without touching every invocation), else hardware
+/// concurrency clamped to [1, 16].
 [[nodiscard]] inline int default_threads() noexcept {
+    if (const char* env = std::getenv("SMN_THREADS")) {
+        char* end = nullptr;
+        const long parsed = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && parsed >= 1 && parsed <= 1024) {
+            return static_cast<int>(parsed);
+        }
+    }
     const auto hw = std::thread::hardware_concurrency();
     if (hw == 0) return 1;
     return static_cast<int>(hw > 16 ? 16 : hw);

@@ -41,13 +41,26 @@ void Table::print(std::ostream& os) const {
     for (const auto& row : rows_) print_row(row);
 }
 
-void Table::print_csv(std::ostream& os) const {
+void Table::print_csv(std::ostream& os, bool header) const {
+    const auto print_cell = [&](const std::string& cell) {
+        if (cell.find_first_of(",\"\n\r") == std::string::npos) {
+            os << cell;
+            return;
+        }
+        os << '"';
+        for (const char c : cell) {
+            if (c == '"') os << '"';
+            os << c;
+        }
+        os << '"';
+    };
     const auto print_row = [&](const std::vector<std::string>& row) {
         for (std::size_t c = 0; c < row.size(); ++c) {
-            os << row[c] << (c + 1 < row.size() ? "," : "\n");
+            print_cell(row[c]);
+            os << (c + 1 < row.size() ? "," : "\n");
         }
     };
-    print_row(headers_);
+    if (header) print_row(headers_);
     for (const auto& row : rows_) print_row(row);
 }
 

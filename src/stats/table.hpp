@@ -28,8 +28,11 @@ public:
     /// Renders with aligned columns (right-aligned cells, two-space gutter).
     void print(std::ostream& os) const;
 
-    /// Renders as CSV (no quoting — cells must not contain commas).
-    void print_csv(std::ostream& os) const;
+    /// Renders as CSV with RFC-4180 quoting: cells containing a comma,
+    /// double quote, or newline are wrapped in double quotes (inner quotes
+    /// doubled). `header = false` skips the header row, so several tables
+    /// with identical columns can stream into one file.
+    void print_csv(std::ostream& os, bool header = true) const;
 
     [[nodiscard]] const std::vector<std::string>& headers() const noexcept { return headers_; }
     [[nodiscard]] const std::vector<std::vector<std::string>>& data() const noexcept {

@@ -1,0 +1,554 @@
+// exp_test — the experiment lab: sweep grammar, scenario registry and
+// parameter binding, deterministic point execution, and the JSONL/CSV
+// result schema (validated with a minimal JSON parser below).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "exp/scenarios.hpp"
+#include "exp/sweep.hpp"
+#include "exp/writer.hpp"
+
+namespace {
+
+using namespace smn;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (objects, arrays, strings, numbers, bools, null) —
+// just enough to schema-check JsonlWriter output without a dependency.
+
+struct JsonValue;
+using JsonObject = std::map<std::string, std::shared_ptr<JsonValue>>;
+using JsonArray = std::vector<std::shared_ptr<JsonValue>>;
+
+struct JsonValue {
+    std::variant<std::nullptr_t, bool, double, std::string, JsonObject, JsonArray> data;
+
+    [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(data); }
+    [[nodiscard]] double number() const { return std::get<double>(data); }
+    [[nodiscard]] const std::string& str() const { return std::get<std::string>(data); }
+    [[nodiscard]] const JsonObject& object() const { return std::get<JsonObject>(data); }
+
+    [[nodiscard]] const JsonValue& at(const std::string& key) const {
+        const auto& obj = object();
+        const auto it = obj.find(key);
+        if (it == obj.end()) throw std::out_of_range("missing JSON key '" + key + "'");
+        return *it->second;
+    }
+    [[nodiscard]] bool has(const std::string& key) const { return object().count(key) > 0; }
+};
+
+class JsonParser {
+public:
+    explicit JsonParser(const std::string& text) : text_{text} {}
+
+    JsonValue parse() {
+        auto value = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) throw std::invalid_argument("trailing JSON content");
+        return value;
+    }
+
+private:
+    void skip_ws() {
+        while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        skip_ws();
+        if (pos_ >= text_.size()) throw std::invalid_argument("unexpected end of JSON");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) {
+            throw std::invalid_argument(std::string("expected '") + c + "' at " +
+                                        std::to_string(pos_));
+        }
+        ++pos_;
+    }
+
+    bool consume_literal(const std::string& literal) {
+        if (text_.compare(pos_, literal.size(), literal) == 0) {
+            pos_ += literal.size();
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue parse_value() {
+        const char c = peek();
+        if (c == '{') return parse_object();
+        if (c == '[') return parse_array();
+        if (c == '"') return JsonValue{parse_string()};
+        if (consume_literal("true")) return JsonValue{true};
+        if (consume_literal("false")) return JsonValue{false};
+        if (consume_literal("null")) return JsonValue{nullptr};
+        return parse_number();
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) throw std::invalid_argument("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (c == '\\') {
+                if (pos_ >= text_.size()) throw std::invalid_argument("bad escape");
+                const char esc = text_[pos_++];
+                switch (esc) {
+                    case '"': out += '"'; break;
+                    case '\\': out += '\\'; break;
+                    case '/': out += '/'; break;
+                    case 'n': out += '\n'; break;
+                    case 'r': out += '\r'; break;
+                    case 't': out += '\t'; break;
+                    case 'u':
+                        if (pos_ + 4 > text_.size()) throw std::invalid_argument("bad \\u");
+                        out += static_cast<char>(
+                            std::stoi(text_.substr(pos_, 4), nullptr, 16));
+                        pos_ += 4;
+                        break;
+                    default: throw std::invalid_argument("bad escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    JsonValue parse_number() {
+        const auto start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                std::string("+-.eE").find(text_[pos_]) != std::string::npos)) {
+            ++pos_;
+        }
+        if (pos_ == start) throw std::invalid_argument("invalid JSON number");
+        return JsonValue{std::stod(text_.substr(start, pos_ - start))};
+    }
+
+    JsonValue parse_object() {
+        expect('{');
+        JsonObject obj;
+        if (peek() == '}') {
+            ++pos_;
+            return JsonValue{obj};
+        }
+        while (true) {
+            std::string key = parse_string();
+            expect(':');
+            obj[key] = std::make_shared<JsonValue>(parse_value());
+            const char c = peek();
+            ++pos_;
+            if (c == '}') return JsonValue{obj};
+            if (c != ',') throw std::invalid_argument("expected ',' or '}'");
+        }
+    }
+
+    JsonValue parse_array() {
+        expect('[');
+        JsonArray arr;
+        if (peek() == ']') {
+            ++pos_;
+            return JsonValue{arr};
+        }
+        while (true) {
+            arr.push_back(std::make_shared<JsonValue>(parse_value()));
+            const char c = peek();
+            ++pos_;
+            if (c == ']') return JsonValue{arr};
+            if (c != ',') throw std::invalid_argument("expected ',' or ']'");
+        }
+    }
+
+    const std::string& text_;
+    std::size_t pos_{0};
+};
+
+JsonValue parse_json(const std::string& text) { return JsonParser{text}.parse(); }
+
+/// Validates one JSONL record against the documented schema and returns it.
+JsonValue check_record(const std::string& line) {
+    const auto record = parse_json(line);
+    EXPECT_EQ(record.at("schema").number(), 1.0);
+    EXPECT_FALSE(record.at("scenario").str().empty());
+    EXPECT_GE(record.at("reps").number(), 1.0);
+    EXPECT_GE(record.at("seed").number(), 0.0);
+    for (const auto& [key, value] : record.at("params").object()) {
+        EXPECT_FALSE(std::get<std::string>(value->data).empty()) << key;
+    }
+    const auto& metrics = record.at("metrics").object();
+    EXPECT_FALSE(metrics.empty());
+    for (const auto& [name, sample] : metrics) {
+        for (const char* field : {"count", "mean", "stderr", "median", "min", "max"}) {
+            EXPECT_TRUE(sample->has(field)) << name << "." << field;
+        }
+        EXPECT_GE(sample->at("count").number(), 1.0) << name;
+        EXPECT_LE(sample->at("min").number(), sample->at("max").number()) << name;
+    }
+    return record;
+}
+
+// A fast synthetic scenario: metrics are pure functions of (params, seed),
+// so determinism tests do not depend on simulator runtimes.
+exp::Scenario synthetic_scenario() {
+    return exp::Scenario{
+        .name = "synthetic",
+        .title = "deterministic test scenario",
+        .claim = "-",
+        .params = {{"a", "1", "first"}, {"b", "2", "second"}},
+        .default_sweep = "a=1,2;b=3",
+        .quick_sweep = "a=1",
+        .run_rep =
+            [](const exp::ScenarioParams& p, std::uint64_t seed) {
+                exp::Metrics m;
+                m["value"] = static_cast<double>(seed % 1000) +
+                             static_cast<double>(p.get_int("a") * 10 + p.get_int("b"));
+                m["steps"] = static_cast<double>(seed % 7);
+                if (seed % 2 == 0) m["even_only"] = 1.0;  // key omitted on odd seeds
+                return m;
+            },
+    };
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(ResolveCount, PlainAndSymbolic) {
+    EXPECT_EQ(exp::resolve_count("17", 100), 17);
+    EXPECT_EQ(exp::resolve_count("log", 1024), 10);
+    EXPECT_EQ(exp::resolve_count("sqrt", 1024), 32);
+    EXPECT_EQ(exp::resolve_count("sqrt", 1000), 32);  // ceil
+    EXPECT_EQ(exp::resolve_count("linear", 576), 576);
+    EXPECT_EQ(exp::resolve_count("log", 1), 1);  // clamped to >= 1
+}
+
+TEST(ResolveCount, Rejects) {
+    EXPECT_THROW((void)exp::resolve_count("cube", 100), std::invalid_argument);
+    EXPECT_THROW((void)exp::resolve_count("12x", 100), std::invalid_argument);
+    EXPECT_THROW((void)exp::resolve_count("", 100), std::invalid_argument);
+    EXPECT_THROW((void)exp::resolve_count("4", 0), std::invalid_argument);
+}
+
+TEST(SweepSpec, CrossProductOrder) {
+    const auto spec = exp::SweepSpec::parse("a=1,2;b=x,y;c=9");
+    EXPECT_EQ(spec.size(), 4U);
+    const auto points = spec.points();
+    ASSERT_EQ(points.size(), 4U);
+    // First axis varies slowest.
+    EXPECT_EQ(points[0].at("a"), "1");
+    EXPECT_EQ(points[0].at("b"), "x");
+    EXPECT_EQ(points[1].at("a"), "1");
+    EXPECT_EQ(points[1].at("b"), "y");
+    EXPECT_EQ(points[3].at("a"), "2");
+    EXPECT_EQ(points[3].at("b"), "y");
+    for (const auto& point : points) EXPECT_EQ(point.at("c"), "9");
+}
+
+TEST(SweepSpec, EmptyIsSingleDefaultPoint) {
+    const auto spec = exp::SweepSpec::parse("");
+    EXPECT_EQ(spec.size(), 1U);
+    ASSERT_EQ(spec.points().size(), 1U);
+    EXPECT_TRUE(spec.points()[0].empty());
+}
+
+TEST(SweepSpec, TrimsWhitespace) {
+    const auto spec = exp::SweepSpec::parse(" side = 16 , 24 ; k = log ");
+    const auto points = spec.points();
+    ASSERT_EQ(points.size(), 2U);
+    EXPECT_EQ(points[0].at("side"), "16");
+    EXPECT_EQ(points[1].at("side"), "24");
+    EXPECT_EQ(points[0].at("k"), "log");
+}
+
+TEST(SweepSpec, Rejects) {
+    EXPECT_THROW((void)exp::SweepSpec::parse("a"), std::invalid_argument);
+    EXPECT_THROW((void)exp::SweepSpec::parse("a=1;a=2"), std::invalid_argument);
+    EXPECT_THROW((void)exp::SweepSpec::parse("a=1,,2"), std::invalid_argument);
+    EXPECT_THROW((void)exp::SweepSpec::parse("=1"), std::invalid_argument);
+    EXPECT_THROW((void)exp::SweepSpec::parse("a=1;;b=2"), std::invalid_argument);
+}
+
+TEST(SweepSpec, CanonicalPointIsSortedAndStable) {
+    exp::ParamValues values{{"k", "log"}, {"side", "24"}};
+    EXPECT_EQ(exp::canonical_point(values), "k=log;side=24");
+    EXPECT_EQ(exp::canonical_point({}), "");
+}
+
+TEST(ScenarioParams, FallbacksAndBinding) {
+    const auto scenario = synthetic_scenario();
+    const exp::ScenarioParams bound{scenario.params, {{"a", "7"}}};
+    EXPECT_EQ(bound.get_int("a"), 7);
+    EXPECT_EQ(bound.get_int("b"), 2);  // fallback
+    EXPECT_EQ(bound.get_string("b"), "2");
+    EXPECT_DOUBLE_EQ(bound.get_double("a"), 7.0);
+}
+
+TEST(ScenarioParams, RejectsUndeclaredAndMalformed) {
+    const auto scenario = synthetic_scenario();
+    EXPECT_THROW((exp::ScenarioParams{scenario.params, {{"typo", "1"}}}),
+                 std::invalid_argument);
+    const exp::ScenarioParams bound{scenario.params, {{"a", "x"}}};
+    EXPECT_THROW((void)bound.get_int("a"), std::invalid_argument);
+    EXPECT_THROW((void)bound.get_int("zzz"), std::invalid_argument);
+}
+
+TEST(ScenarioParams, CountExpressions) {
+    const std::vector<exp::ParamSpec> specs{{"k", "log", "agents"}};
+    const exp::ScenarioParams defaulted{specs, {}};
+    EXPECT_EQ(defaulted.get_count("k", 1024), 10);
+    const exp::ScenarioParams bound{specs, {{"k", "sqrt"}}};
+    EXPECT_EQ(bound.get_count("k", 576), 24);
+}
+
+TEST(Registry, BuiltinScenariosArePresent) {
+    exp::register_builtin_scenarios();
+    const auto& registry = exp::ScenarioRegistry::instance();
+    EXPECT_GE(registry.size(), 6U);
+    for (const char* name : {"grid_broadcast", "frog_broadcast", "torus_broadcast",
+                             "percolation_radius", "gossip", "meeting_time", "churn"}) {
+        EXPECT_NE(registry.find(name), nullptr) << name;
+        EXPECT_FALSE(registry.at(name).params.empty()) << name;
+    }
+    // all() is sorted by name.
+    const auto all = registry.all();
+    for (std::size_t i = 1; i < all.size(); ++i) {
+        EXPECT_LT(all[i - 1]->name, all[i]->name);
+    }
+}
+
+TEST(Registry, RejectsBadRegistrations) {
+    exp::register_builtin_scenarios();
+    auto& registry = exp::ScenarioRegistry::instance();
+    EXPECT_THROW(registry.add(registry.at("gossip")), std::invalid_argument);  // duplicate
+    EXPECT_THROW((void)registry.at("no_such_scenario"), std::out_of_range);
+
+    auto unnamed = synthetic_scenario();
+    unnamed.name = "";
+    EXPECT_THROW(registry.add(unnamed), std::invalid_argument);
+
+    auto bodyless = synthetic_scenario();
+    bodyless.name = "bodyless";
+    bodyless.run_rep = nullptr;
+    EXPECT_THROW(registry.add(bodyless), std::invalid_argument);
+
+    auto bad_sweep = synthetic_scenario();
+    bad_sweep.name = "bad_sweep";
+    bad_sweep.quick_sweep = "undeclared=1";
+    EXPECT_THROW(registry.add(bad_sweep), std::invalid_argument);
+}
+
+TEST(PointSeed, DependsOnScenarioAndParamsOnly) {
+    const exp::ParamValues point{{"a", "1"}};
+    const auto seed = exp::point_seed(42, "synthetic", point);
+    EXPECT_EQ(seed, exp::point_seed(42, "synthetic", point));
+    EXPECT_NE(seed, exp::point_seed(43, "synthetic", point));
+    EXPECT_NE(seed, exp::point_seed(42, "other", point));
+    EXPECT_NE(seed, exp::point_seed(42, "synthetic", {{"a", "2"}}));
+    EXPECT_NE(seed, exp::point_seed(42, "synthetic", {{"a", "1"}, {"b", "3"}}));
+}
+
+TEST(RunPoint, AggregatesInReplicationOrder) {
+    const auto scenario = synthetic_scenario();
+    exp::RunOptions options;
+    options.reps = 9;
+    options.seed = 7;
+    const auto result = exp::run_point(scenario, {{"a", "3"}}, options);
+    EXPECT_EQ(result.scenario, "synthetic");
+    EXPECT_EQ(result.reps, 9);
+    EXPECT_EQ(result.metric("value").count(), 9);
+    EXPECT_EQ(result.metric("steps").count(), 9);
+    // The conditional key only counts the replications that reported it.
+    EXPECT_LT(result.metric("even_only").count(), 9);
+    EXPECT_GE(result.metric("even_only").count(), 1);
+    EXPECT_THROW((void)result.metric("missing"), std::out_of_range);
+    // The meter sums the "steps" metric.
+    EXPECT_DOUBLE_EQ(result.steps,
+                     result.metric("steps").mean() * static_cast<double>(result.reps));
+}
+
+TEST(RunPoint, BitIdenticalAcrossThreadCounts) {
+    const auto scenario = synthetic_scenario();
+    std::vector<std::string> outputs;
+    for (const int threads : {1, 2, 7}) {
+        exp::RunOptions options;
+        options.reps = 13;
+        options.seed = 99;
+        options.threads = threads;
+        const auto result = exp::run_point(scenario, {{"a", "2"}, {"b", "5"}}, options);
+        std::ostringstream os;
+        exp::JsonlWriter{os}.write(result);
+        outputs.push_back(os.str());
+    }
+    EXPECT_EQ(outputs[0], outputs[1]);
+    EXPECT_EQ(outputs[0], outputs[2]);
+}
+
+TEST(RunSweep, VisitsEveryPointInOrder) {
+    const auto scenario = synthetic_scenario();
+    exp::RunOptions options;
+    options.reps = 2;
+    const auto results =
+        exp::run_sweep(scenario, exp::SweepSpec::parse("a=1,2;b=3,4"), options);
+    ASSERT_EQ(results.size(), 4U);
+    EXPECT_EQ(results[0].params.at("a"), "1");
+    EXPECT_EQ(results[0].params.at("b"), "3");
+    EXPECT_EQ(results[3].params.at("a"), "2");
+    EXPECT_EQ(results[3].params.at("b"), "4");
+}
+
+TEST(RunPoint, RejectsBadOptions) {
+    const auto scenario = synthetic_scenario();
+    exp::RunOptions options;
+    options.reps = 0;
+    EXPECT_THROW((void)exp::run_point(scenario, {}, options), std::invalid_argument);
+}
+
+TEST(RunPoint, BodyExceptionsPropagateFromWorkerThreads) {
+    // A throwing run_rep (e.g. lazy parameter validation) must surface as
+    // a normal exception on the calling thread at ANY thread count — not
+    // std::terminate from inside a worker.
+    auto scenario = synthetic_scenario();
+    scenario.run_rep = [](const exp::ScenarioParams& p, std::uint64_t) -> exp::Metrics {
+        (void)p.get_int("a");
+        throw std::invalid_argument("boom");
+    };
+    for (const int threads : {1, 2, 7}) {
+        exp::RunOptions options;
+        options.reps = 9;
+        options.threads = threads;
+        EXPECT_THROW((void)exp::run_point(scenario, {}, options), std::invalid_argument)
+            << threads;
+    }
+}
+
+TEST(JsonlWriter, RecordsMatchSchema) {
+    const auto scenario = synthetic_scenario();
+    exp::RunOptions options;
+    options.reps = 4;
+    std::ostringstream os;
+    exp::JsonlWriter writer{os};
+    for (const auto& result :
+         exp::run_sweep(scenario, exp::SweepSpec::parse("a=1,2;b=3"), options)) {
+        writer.write(result);
+    }
+    std::istringstream lines{os.str()};
+    std::string line;
+    int records = 0;
+    while (std::getline(lines, line)) {
+        const auto record = check_record(line);
+        EXPECT_EQ(record.at("scenario").str(), "synthetic");
+        EXPECT_EQ(record.at("reps").number(), 4.0);
+        EXPECT_EQ(record.at("params").at("b").str(), "3");
+        EXPECT_FALSE(record.has("timing"));  // timings are opt-in
+        ++records;
+    }
+    EXPECT_EQ(records, 2);
+}
+
+TEST(JsonlWriter, TimingsAreOptIn) {
+    const auto scenario = synthetic_scenario();
+    exp::RunOptions options;
+    options.reps = 2;
+    const auto result = exp::run_point(scenario, {}, options);
+    std::ostringstream os;
+    exp::JsonlWriter{os, /*timings=*/true}.write(result);
+    const auto record = check_record(os.str());
+    ASSERT_TRUE(record.has("timing"));
+    EXPECT_GE(record.at("timing").at("wall_s").number(), 0.0);
+    EXPECT_TRUE(record.at("timing").has("steps_per_s"));
+}
+
+TEST(JsonlWriter, EscapesAndNonFiniteNumbers) {
+    EXPECT_EQ(exp::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    exp::PointResult result;
+    result.scenario = "quote\"name";
+    result.reps = 1;
+    stats::Sample nan_sample;
+    nan_sample.add(std::nan(""));
+    result.metrics["weird"] = nan_sample;
+    std::ostringstream os;
+    exp::JsonlWriter{os}.write(result);
+    const auto record = parse_json(os.str());
+    EXPECT_EQ(record.at("scenario").str(), "quote\"name");
+    EXPECT_TRUE(record.at("metrics").at("weird").at("mean").is_null());
+}
+
+TEST(CsvWriter, HeaderOnceAndQuoting) {
+    exp::PointResult result;
+    result.scenario = "name,with comma";
+    result.params = {{"a", "1"}, {"b", "2"}};
+    result.reps = 1;
+    result.seed = 5;
+    stats::Sample sample;
+    sample.add(1.5);
+    result.metrics["m"] = sample;
+
+    std::ostringstream os;
+    exp::CsvWriter writer{os};
+    writer.write(result);
+    writer.write(result);
+    std::istringstream lines{os.str()};
+    std::string line;
+    std::vector<std::string> rows;
+    while (std::getline(lines, line)) rows.push_back(line);
+    ASSERT_EQ(rows.size(), 3U);  // one header + two data rows
+    EXPECT_EQ(rows[0],
+              "scenario,params,seed,reps,metric,count,mean,stderr,median,min,max");
+    EXPECT_EQ(rows[1], rows[2]);
+    EXPECT_NE(rows[1].find("\"name,with comma\""), std::string::npos);
+    EXPECT_NE(rows[1].find("a=1;b=2"), std::string::npos);
+}
+
+TEST(BuiltinScenarios, QuickSweepsProduceValidRecords) {
+    exp::register_builtin_scenarios();
+    exp::RunOptions options;
+    options.reps = 2;
+    options.quick = true;
+    options.threads = 2;
+    for (const auto* scenario : exp::ScenarioRegistry::instance().all()) {
+        const auto sweep = exp::SweepSpec::parse(scenario->quick_sweep);
+        const auto results = exp::run_sweep(*scenario, sweep, options);
+        EXPECT_EQ(results.size(), sweep.size()) << scenario->name;
+        for (const auto& result : results) {
+            std::ostringstream os;
+            exp::JsonlWriter{os}.write(result);
+            const auto record = check_record(os.str());
+            EXPECT_EQ(record.at("scenario").str(), scenario->name);
+        }
+    }
+}
+
+TEST(BuiltinScenarios, GridBroadcastIsThreadInvariant) {
+    exp::register_builtin_scenarios();
+    const auto& scenario = exp::ScenarioRegistry::instance().at("grid_broadcast");
+    std::vector<std::string> outputs;
+    for (const int threads : {1, 2, 7}) {
+        exp::RunOptions options;
+        options.reps = 5;
+        options.threads = threads;
+        std::ostringstream os;
+        exp::JsonlWriter writer{os};
+        for (const auto& result : exp::run_sweep(
+                 scenario, exp::SweepSpec::parse("side=12;k=4,8"), options)) {
+            writer.write(result);
+        }
+        outputs.push_back(os.str());
+    }
+    EXPECT_EQ(outputs[0], outputs[1]);
+    EXPECT_EQ(outputs[0], outputs[2]);
+}
+
+}  // namespace

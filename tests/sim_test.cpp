@@ -1,6 +1,8 @@
 // sim_test.cpp — CLI args and the deterministic replication runner.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <sstream>
 #include <vector>
 
 #include "sim/args.hpp"
@@ -72,6 +74,62 @@ TEST(Args, UnknownFlagRejected) {
     EXPECT_THROW(args.reject_unknown(), std::invalid_argument);
 }
 
+TEST(Args, HelpIsRecognizedAndListsDeclaredKeys) {
+    auto argv = argv_of({"--help"});
+    Args args{static_cast<int>(argv.size()), argv.data()};
+    EXPECT_TRUE(args.help());
+    (void)args.get_int("side", 48);
+    (void)args.get_double("alpha", 0.25);
+    (void)args.get_string("mode", "fast");
+    std::ostringstream os;
+    args.print_help(os);
+    const std::string help = os.str();
+    EXPECT_NE(help.find("--side  (default: 48)"), std::string::npos);
+    EXPECT_NE(help.find("--alpha"), std::string::npos);
+    EXPECT_NE(help.find("--mode  (default: fast)"), std::string::npos);
+    EXPECT_NE(help.find("--threads=N"), std::string::npos);
+    EXPECT_NE(help.find("--quick"), std::string::npos);
+    EXPECT_NE(help.find("SMN_THREADS"), std::string::npos);
+}
+
+TEST(Args, HelpListsKeysInDeclarationOrderOnce) {
+    auto argv = argv_of({});
+    Args args{static_cast<int>(argv.size()), argv.data()};
+    (void)args.get_int("zeta", 1);
+    (void)args.get_int("alpha", 2);
+    (void)args.get_int("zeta", 1);  // re-declaration is not duplicated
+    std::ostringstream os;
+    args.print_help(os);
+    const std::string help = os.str();
+    const auto zeta = help.find("--zeta");
+    const auto alpha = help.find("--alpha");
+    ASSERT_NE(zeta, std::string::npos);
+    ASSERT_NE(alpha, std::string::npos);
+    EXPECT_LT(zeta, alpha);
+    EXPECT_EQ(help.find("--zeta", zeta + 1), std::string::npos);
+}
+
+TEST(Args, ThreadsOptionIsBuiltIn) {
+    auto argv = argv_of({"--threads=5"});
+    Args args{static_cast<int>(argv.size()), argv.data()};
+    EXPECT_EQ(args.threads(), 5);
+    args.reject_unknown();  // never rejected, even though no get_* declared it
+}
+
+TEST(Args, ThreadsDefaultsToDefaultThreads) {
+    auto argv = argv_of({});
+    Args args{static_cast<int>(argv.size()), argv.data()};
+    EXPECT_EQ(args.threads(), default_threads());
+}
+
+TEST(Args, ThreadsRejectsBadValues) {
+    for (const char* bad : {"--threads=0", "--threads=-2", "--threads=many"}) {
+        auto argv = argv_of({bad});
+        Args args{static_cast<int>(argv.size()), argv.data()};
+        EXPECT_THROW((void)args.threads(), std::invalid_argument) << bad;
+    }
+}
+
 // ------------------------------------------------------------------ runner
 
 TEST(Runner, ProducesOneResultPerReplication) {
@@ -129,6 +187,36 @@ TEST(Runner, SampleAggregatesAll) {
 }
 
 TEST(Runner, DefaultThreadsIsPositive) { EXPECT_GE(default_threads(), 1); }
+
+// Replication-order determinism across the thread counts the lab's
+// acceptance criterion names: a serial run, an even split, and a count
+// that divides the work unevenly.
+TEST(Runner, ReplicationOrderIsDeterministicAtOneTwoSevenThreads) {
+    const auto body = [](int rep, std::uint64_t seed) {
+        rng::Rng rng{seed};
+        double total = static_cast<double>(rep);
+        for (int i = 0; i < 50; ++i) total += rng.uniform();
+        return total;
+    };
+    const auto serial = run_replications(23, 2026, body, 1);
+    ASSERT_EQ(serial.size(), 23u);
+    for (const int threads : {2, 7}) {
+        EXPECT_EQ(serial, run_replications(23, 2026, body, threads)) << threads;
+    }
+}
+
+TEST(Runner, SmnThreadsEnvironmentOverride) {
+    ASSERT_EQ(setenv("SMN_THREADS", "3", 1), 0);
+    EXPECT_EQ(default_threads(), 3);
+    // Out-of-range or junk values fall back to the hardware default.
+    ASSERT_EQ(setenv("SMN_THREADS", "0", 1), 0);
+    const int fallback = default_threads();
+    EXPECT_GE(fallback, 1);
+    ASSERT_EQ(setenv("SMN_THREADS", "lots", 1), 0);
+    EXPECT_EQ(default_threads(), fallback);
+    ASSERT_EQ(unsetenv("SMN_THREADS"), 0);
+    EXPECT_GE(default_threads(), 1);
+}
 
 }  // namespace
 }  // namespace smn::sim

@@ -276,6 +276,45 @@ TEST(Table, PrintsCsv) {
     EXPECT_EQ(os.str(), "k,tb\n4,1000\n");
 }
 
+TEST(Table, CsvEmptyTableIsHeaderOnly) {
+    Table t{{"k", "tb"}};
+    std::ostringstream os;
+    t.print_csv(os);
+    EXPECT_EQ(os.str(), "k,tb\n");
+    std::ostringstream headerless;
+    t.print_csv(headerless, /*header=*/false);
+    EXPECT_EQ(headerless.str(), "");
+}
+
+TEST(Table, CsvSingleRowAndSingleColumn) {
+    Table t{{"only"}};
+    t.add_row({"value"});
+    std::ostringstream os;
+    t.print_csv(os);
+    EXPECT_EQ(os.str(), "only\nvalue\n");
+}
+
+TEST(Table, CsvQuotesCommasQuotesAndNewlines) {
+    Table t{{"plain", "with,comma"}};
+    t.add_row({"say \"hi\"", "two\nlines"});
+    t.add_row({"-", "clean"});
+    std::ostringstream os;
+    t.print_csv(os);
+    EXPECT_EQ(os.str(),
+              "plain,\"with,comma\"\n"
+              "\"say \"\"hi\"\"\",\"two\nlines\"\n"
+              "-,clean\n");
+}
+
+TEST(Table, CsvHeaderSuppressionStreamsTables) {
+    Table t{{"a", "b"}};
+    t.add_row({"1", "2"});
+    std::ostringstream os;
+    t.print_csv(os);
+    t.print_csv(os, /*header=*/false);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n1,2\n");
+}
+
 TEST(Table, Formatters) {
     EXPECT_EQ(fmt(std::int64_t{42}), "42");
     EXPECT_EQ(fmt(3.14159, 3), "3.14");
