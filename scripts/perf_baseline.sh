@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Hot-path perf baseline: run the step_throughput micro-scenario on the
+# three tracked parameter points (percolation-scale radius; all-move at two
+# sizes plus the Frog model), convert the timing sweep into a BENCH json
+# record, and — when a checked-in baseline is given — fail on >30%
+# regression (see scripts/perf_gate.py for the knobs).
+#
+# Usage: scripts/perf_baseline.sh [build-dir] [out-json] [baseline-json]
+set -euo pipefail
+
+build_dir="${1:-build}"
+out_json="${2:-results/BENCH_PR3.json}"
+baseline_json="${3:-}"
+
+out_dir="$(dirname "${out_json}")"
+mkdir -p "${out_dir}"
+jsonl="${out_dir}/step_throughput.jsonl"
+: > "${jsonl}"
+
+# --threads=1 keeps replications sequential so steps_per_s measures the
+# single-threaded step loop; 3 reps amortize process noise.
+run() {
+    "${build_dir}/smn_lab" --scenario=step_throughput --sweep="$1" \
+        --reps=3 --threads=1 --timings --out="${jsonl}.part"
+    cat "${jsonl}.part" >> "${jsonl}"
+    rm -f "${jsonl}.part"
+}
+
+run "side=256;k=4096;radius=rc;steps=200;mobility=all"
+run "side=256;k=4096;radius=rc;steps=200;mobility=frog"
+run "side=128;k=1024;radius=rc;steps=400;mobility=all"
+
+if [ -n "${baseline_json}" ]; then
+    python3 "$(dirname "$0")/perf_gate.py" "${jsonl}" "${out_json}" --baseline "${baseline_json}"
+else
+    python3 "$(dirname "$0")/perf_gate.py" "${jsonl}" "${out_json}"
+fi

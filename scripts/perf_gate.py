@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Convert an smn_lab step_throughput JSONL sweep into a BENCH_*.json record
+and (optionally) gate it against a checked-in baseline.
+
+Usage:
+  perf_gate.py <fresh.jsonl> <out.json> [--baseline BENCH_PR3.json]
+               [--min-ratio 0.7]
+
+The fresh JSONL must have been produced with --timings. Each parameter
+point becomes one entry keyed by its canonical parameter string. With
+--baseline, every baseline point must be present in the fresh run at
+>= min-ratio of the baseline's after_steps_per_s, else exit 1 — the
+">30% regression fails CI" contract (0.7 default leaves headroom for
+runner-to-runner machine variance; override with --min-ratio or the
+PERF_GATE_MIN_RATIO environment variable).
+"""
+import argparse
+import json
+import os
+import sys
+
+
+def canonical_key(params):
+    return ";".join(f"{k}={v}" for k, v in sorted(params.items()))
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("fresh_jsonl")
+    ap.add_argument("out_json")
+    ap.add_argument("--baseline")
+    ap.add_argument("--min-ratio", type=float,
+                    default=float(os.environ.get("PERF_GATE_MIN_RATIO", "0.7")))
+    args = ap.parse_args()
+
+    points = []
+    with open(args.fresh_jsonl) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            timing = rec.get("timing")
+            if timing is None:
+                sys.exit("perf_gate: record without timing — rerun smn_lab with --timings")
+            points.append({
+                "key": canonical_key(rec["params"]),
+                "scenario": rec["scenario"],
+                "steps_per_s": timing["steps_per_s"],
+                "wall_s": timing["wall_s"],
+            })
+    if not points:
+        sys.exit("perf_gate: no records in " + args.fresh_jsonl)
+
+    by_key = {p["key"]: p for p in points}
+    failures = []
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        for base in baseline["points"]:
+            key = base["key"]
+            target = base.get("after_steps_per_s", base.get("steps_per_s"))
+            fresh = by_key.get(key)
+            if fresh is None:
+                failures.append(f"baseline point missing from fresh run: {key}")
+                continue
+            ratio = fresh["steps_per_s"] / target
+            fresh["baseline_steps_per_s"] = target
+            fresh["ratio_vs_baseline"] = ratio
+            status = "OK" if ratio >= args.min_ratio else "REGRESSION"
+            print(f"[perf-gate] {key}: {fresh['steps_per_s']:.0f} steps/s "
+                  f"vs baseline {target:.0f} (ratio {ratio:.2f}) {status}")
+            if ratio < args.min_ratio:
+                failures.append(
+                    f"{key}: {fresh['steps_per_s']:.0f} steps/s is below "
+                    f"{args.min_ratio:.0%} of baseline {target:.0f}")
+
+    out = {
+        "schema": 1,
+        "scenario": "step_throughput",
+        "generated_by": "scripts/perf_baseline.sh",
+        "points": points,
+    }
+    with open(args.out_json, "w") as fh:
+        json.dump(out, fh, indent=2)
+        fh.write("\n")
+    print(f"[perf-gate] wrote {args.out_json} ({len(points)} point(s))")
+
+    if failures:
+        print("perf_gate: FAILED:\n  " + "\n  ".join(failures), file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

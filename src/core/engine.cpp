@@ -50,17 +50,23 @@ BroadcastProcess::BroadcastProcess(const EngineConfig& config)
 
 void BroadcastProcess::step() {
     ++t_;
+    // Boundary-crossing agents feed the incremental spatial index; the
+    // constructor's build() indexed the ensemble's (stable) position
+    // storage, so only the component pass below runs over all k.
+    const auto report = [this](walk::AgentId a, grid::Point from, grid::Point to) {
+        builder_.on_move(a, from, to);
+    };
     if (config_.mobility == Mobility::kAllMove) {
-        agents_.step_all(rng_);
+        agents_.step_all(rng_, report);
     } else {
         // Frog model: agents informed *before* this step's motion walk;
         // agents informed during this step's exchange start moving next
         // step. Copy the flags because exchange mutates them.
         const auto flags = rumor_.flags();
         std::copy(flags.begin(), flags.end(), move_mask_.begin());
-        agents_.step_subset(rng_, move_mask_);
+        agents_.step_subset(rng_, move_mask_, report);
     }
-    builder_.build(agents_.positions(), dsu_);
+    builder_.rebuild_components(agents_.positions(), dsu_);
     exchange();
     notify();
 }

@@ -90,6 +90,14 @@ public:
     /// range.
     explicit BroadcastProcess(const EngineConfig& config);
 
+    // Non-copyable: the incremental spatial index views the ensemble's
+    // position storage, which a copy would silently keep aliasing. Moves
+    // are fine (vector storage survives a move).
+    BroadcastProcess(const BroadcastProcess&) = delete;
+    BroadcastProcess& operator=(const BroadcastProcess&) = delete;
+    BroadcastProcess(BroadcastProcess&&) = default;
+    BroadcastProcess& operator=(BroadcastProcess&&) = default;
+
     /// Attaches an observer (non-owning). It immediately misses the t = 0
     /// callback if attached after construction; attach before stepping for
     /// full series. (run_broadcast handles this for the common cases.)

@@ -119,9 +119,9 @@ public:
 
     void on_step(const StepView& view) override {
         builder_.build(view.positions, dsu_);
-        const auto stats = graph::component_stats(dsu_);
-        if (stats.max_size > max_island_) max_island_ = stats.max_size;
-        series_.push_back(stats.max_size);
+        graph::component_stats(dsu_, stats_, scratch_);
+        if (stats_.max_size > max_island_) max_island_ = stats_.max_size;
+        series_.push_back(stats_.max_size);
     }
 
     /// Largest island observed at any time so far (Lemma 6 bounds this by
@@ -132,6 +132,8 @@ public:
 private:
     graph::VisibilityGraphBuilder builder_;
     graph::DisjointSets dsu_;
+    graph::ComponentStats stats_;            ///< reused across steps
+    std::vector<std::int64_t> scratch_;      ///< reused per-root size buffer
     std::int64_t max_island_{0};
     std::vector<std::int64_t> series_;
 };

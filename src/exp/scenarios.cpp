@@ -7,6 +7,7 @@ void register_builtin_scenarios() {
     link_scenarios_gossip();
     link_scenarios_walk();
     link_scenarios_churn();
+    link_scenarios_perf();
 }
 
 }  // namespace smn::exp

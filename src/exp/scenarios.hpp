@@ -16,6 +16,7 @@
 //   gossip             — k rumors all-to-all (Corollary 2)
 //   meeting_time       — pairwise first-meeting times (t* of Sec. 1.1)
 //   churn              — broadcast under agent replacement (extension)
+//   step_throughput    — fixed-step hot-path micro-benchmark (perf gate)
 #pragma once
 
 namespace smn::exp {
@@ -29,5 +30,6 @@ void link_scenarios_broadcast();
 void link_scenarios_gossip();
 void link_scenarios_walk();
 void link_scenarios_churn();
+void link_scenarios_perf();
 
 }  // namespace smn::exp

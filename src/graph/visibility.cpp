@@ -26,14 +26,24 @@ void VisibilityGraphBuilder::build(std::span<const grid::Point> positions, Disjo
         return;
     }
     buckets_.rebuild(positions);
-    for (std::size_t a = 0; a < positions.size(); ++a) {
-        const auto self = static_cast<std::int32_t>(a);
-        buckets_.for_each_within(positions[a], radius_, metric_, [&](std::int32_t b) {
-            // Visit each unordered pair once (b < self) to halve the work;
-            // the co-located pair (b == self) is skipped.
-            if (b < self) dsu.unite(self, b);
-        });
+    unite_pairs(dsu);
+}
+
+void VisibilityGraphBuilder::rebuild_components(std::span<const grid::Point> positions,
+                                                DisjointSets& dsu) {
+    if (radius_ == 0) {
+        build(positions, dsu);
+        return;
     }
+    dsu.reset(positions.size());
+    unite_pairs(dsu);
+}
+
+void VisibilityGraphBuilder::unite_pairs(DisjointSets& dsu) {
+    // Half-neighborhood enumeration: each unordered in-range pair exactly
+    // once, straight into the union-find.
+    buckets_.for_each_pair_within(radius_, metric_,
+                                  [&](std::int32_t a, std::int32_t b) { dsu.unite(a, b); });
 }
 
 void VisibilityGraphBuilder::build_naive(std::span<const grid::Point> positions,
@@ -49,40 +59,56 @@ void VisibilityGraphBuilder::build_naive(std::span<const grid::Point> positions,
     }
 }
 
-ComponentStats component_stats(DisjointSets& dsu) {
-    ComponentStats stats;
+void component_stats(DisjointSets& dsu, ComponentStats& out,
+                     std::vector<std::int64_t>& root_size_scratch) {
+    out.component_count = 0;
+    out.max_size = 0;
+    out.mean_size = 0.0;
+    out.largest_fraction = 0.0;
+    out.size_histogram.clear();
     const auto k = dsu.element_count();
-    if (k == 0) return stats;
+    if (k == 0) return;
 
-    std::vector<std::int64_t> size_of_root(k, 0);
+    root_size_scratch.assign(k, 0);
     for (std::size_t a = 0; a < k; ++a) {
-        ++size_of_root[static_cast<std::size_t>(dsu.find(static_cast<std::int32_t>(a)))];
+        ++root_size_scratch[static_cast<std::size_t>(dsu.find(static_cast<std::int32_t>(a)))];
     }
 
     std::int64_t count = 0;
     std::int64_t max_size = 0;
-    for (const auto s : size_of_root) {
+    for (const auto s : root_size_scratch) {
         if (s == 0) continue;
         ++count;
         max_size = std::max(max_size, s);
     }
-    stats.component_count = count;
-    stats.max_size = max_size;
-    stats.mean_size = static_cast<double>(k) / static_cast<double>(count);
-    stats.largest_fraction = static_cast<double>(max_size) / static_cast<double>(k);
+    out.component_count = count;
+    out.max_size = max_size;
+    out.mean_size = static_cast<double>(k) / static_cast<double>(count);
+    out.largest_fraction = static_cast<double>(max_size) / static_cast<double>(k);
 
-    stats.size_histogram.assign(static_cast<std::size_t>(max_size) + 1, 0);
-    for (const auto s : size_of_root) {
-        if (s > 0) ++stats.size_histogram[static_cast<std::size_t>(s)];
+    out.size_histogram.assign(static_cast<std::size_t>(max_size) + 1, 0);
+    for (const auto s : root_size_scratch) {
+        if (s > 0) ++out.size_histogram[static_cast<std::size_t>(s)];
     }
+}
+
+ComponentStats component_stats(DisjointSets& dsu) {
+    ComponentStats stats;
+    std::vector<std::int64_t> scratch;
+    component_stats(dsu, stats, scratch);
     return stats;
 }
 
-std::vector<std::int32_t> component_labels(DisjointSets& dsu) {
-    std::vector<std::int32_t> labels(dsu.element_count());
-    for (std::size_t a = 0; a < labels.size(); ++a) {
-        labels[a] = dsu.find(static_cast<std::int32_t>(a));
+void component_labels(DisjointSets& dsu, std::vector<std::int32_t>& out) {
+    out.resize(dsu.element_count());
+    for (std::size_t a = 0; a < out.size(); ++a) {
+        out[a] = dsu.find(static_cast<std::int32_t>(a));
     }
+}
+
+std::vector<std::int32_t> component_labels(DisjointSets& dsu) {
+    std::vector<std::int32_t> labels;
+    component_labels(dsu, labels);
     return labels;
 }
 

@@ -8,8 +8,17 @@
 // unions agents directly into a DisjointSets via the spatial index.
 //
 //  * r = 0  — co-location only; uses OccupancyMap, O(k).
-//  * r ≥ 1  — BucketIndex with bucket side r; expected O(k) below and near
-//             the percolation point.
+//  * r ≥ 1  — BucketIndex with bucket side r, enumerating each unordered
+//             pair exactly once via the half-neighborhood scan; expected
+//             O(k) below and near the percolation point.
+//
+// Two usage protocols:
+//  * build() — one-shot: (re)index the positions and compute components.
+//  * incremental — build() (or any prior build) indexes the storage once;
+//    afterwards report every node change via on_move() and call
+//    rebuild_components() to recompute the partition without re-linking
+//    all k agents. Components cannot be maintained under edge *deletions*,
+//    so the DSU is always recomputed; the savings are in the spatial index.
 //
 // ComponentStats summarizes a partition: component count, maximum size
 // ("islands" of Definition 2 / Lemma 6), size histogram, and the largest
@@ -37,9 +46,24 @@ public:
     VisibilityGraphBuilder(const grid::Grid2D& grid, std::int64_t radius,
                            grid::Metric metric = grid::Metric::kManhattan);
 
-    /// Computes the components of G_t(r) for the given positions.
-    /// Postcondition: dsu.element_count() == positions.size().
+    /// Computes the components of G_t(r) for the given positions,
+    /// (re)indexing them from scratch. The positions storage must stay
+    /// alive and in place for as long as the incremental protocol below is
+    /// used. Postcondition: dsu.element_count() == positions.size().
     void build(std::span<const grid::Point> positions, DisjointSets& dsu);
+
+    /// Incremental protocol, step 1: tell the index one agent changed node.
+    /// Call after writing the new position into the indexed storage. O(1).
+    void on_move(std::int32_t agent, grid::Point from, grid::Point to) noexcept {
+        if (radius_ >= 1) buckets_.move(agent, from, to);
+    }
+
+    /// Incremental protocol, step 2: recompute the components from the
+    /// incrementally maintained index. `positions` must be the same storage
+    /// last passed to build(), with every node change since then reported
+    /// through on_move(). (For r = 0 this simply delegates to build —
+    /// the occupancy rebuild is already O(k) with a small constant.)
+    void rebuild_components(std::span<const grid::Point> positions, DisjointSets& dsu);
 
     [[nodiscard]] std::int64_t radius() const noexcept { return radius_; }
     [[nodiscard]] grid::Metric metric() const noexcept { return metric_; }
@@ -49,6 +73,8 @@ public:
                             grid::Metric metric, DisjointSets& dsu);
 
 private:
+    void unite_pairs(DisjointSets& dsu);
+
     grid::Grid2D grid_;
     std::int64_t radius_;
     grid::Metric metric_;
@@ -70,11 +96,20 @@ struct ComponentStats {
     }
 };
 
-/// Computes statistics of the partition currently held by `dsu`.
+/// Computes statistics of the partition currently held by `dsu` into `out`,
+/// reusing out.size_histogram and the caller-provided per-root size scratch
+/// (resized as needed) — the allocation-free form for per-step observers.
+void component_stats(DisjointSets& dsu, ComponentStats& out,
+                     std::vector<std::int64_t>& root_size_scratch);
+
+/// Allocating convenience form of the above.
 [[nodiscard]] ComponentStats component_stats(DisjointSets& dsu);
 
-/// Extracts the component label (root id) of each agent. Labels are root
-/// agent ids, not compacted.
+/// Extracts the component label (root id) of each agent into `out` (resized
+/// to the element count). Labels are root agent ids, not compacted.
+void component_labels(DisjointSets& dsu, std::vector<std::int32_t>& out);
+
+/// Allocating convenience form of the above.
 [[nodiscard]] std::vector<std::int32_t> component_labels(DisjointSets& dsu);
 
 }  // namespace smn::graph

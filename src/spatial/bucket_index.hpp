@@ -1,14 +1,25 @@
 // bucket_index.hpp — spatial hash for radius queries (r > 0).
 //
 // Buckets the grid into squares of side `bucket_side` and answers "all
-// agents within distance r of p" by scanning the 3×3 block of buckets
-// around p, which is sufficient whenever bucket_side >= r (for every metric
-// we support: L1 ≤ r and L∞ ≤ r and L2 ≤ r all imply per-axis offset ≤ r).
-// Rebuild is O(k) with a dirty-bucket log, mirroring OccupancyMap.
+// agents within distance r of p" by scanning the block of buckets within
+// ceil(r / bucket_side) of p's bucket — for every metric we support
+// (L1 ≤ r, L∞ ≤ r, L2 ≤ r all imply per-axis offset ≤ r), so the scan is
+// correct for ANY radius, not just radius ≤ bucket_side. When the index is
+// sized with for_radius() the scan is the familiar 3×3 block.
+//
+// The index is *incremental*: after a rebuild(), move() relocates a single
+// agent between buckets in O(1) (doubly linked intrusive lists), so a
+// simulation step in which agents move at most one cell only pays for the
+// boundary-crossing agents instead of re-linking all k. The common cases —
+// agent stays in its bucket, or crosses into an adjacent one — are decided
+// with multiplications against the cached per-agent bucket coordinates;
+// the division fallback only runs on teleports. rebuild() remains the
+// reference path for initialization and bulk repositioning.
 //
 // This is the workhorse behind visibility-graph construction: the expected
 // occupancy of a bucket at the percolation scale r ≈ √(n/k) is O(1), so
-// building G_t(r) costs O(k) expected per time step.
+// building G_t(r) costs O(k) expected per time step, and the incremental
+// maintenance costs O(#boundary crossers) ≪ k.
 #pragma once
 
 #include <algorithm>
@@ -26,8 +37,8 @@ namespace smn::spatial {
 /// Spatial hash over a Grid2D with square buckets.
 class BucketIndex {
 public:
-    /// `bucket_side` must be >= 1; radius queries require radius <=
-    /// bucket_side (checked in debug builds).
+    /// `bucket_side` must be >= 1. Radius queries work for any radius; the
+    /// scan widens automatically when radius > bucket_side.
     BucketIndex(const grid::Grid2D& grid, grid::Coord bucket_side)
         : grid_{grid}, side_{bucket_side} {
         if (bucket_side < 1) {
@@ -35,7 +46,9 @@ public:
         }
         buckets_x_ = (grid.width() + bucket_side - 1) / bucket_side;
         buckets_y_ = (grid.height() + bucket_side - 1) / bucket_side;
-        head_.assign(static_cast<std::size_t>(std::int64_t{buckets_x_} * buckets_y_), -1);
+        const auto bucket_count = static_cast<std::size_t>(std::int64_t{buckets_x_} * buckets_y_);
+        head_.assign(bucket_count, -1);
+        where_.assign(bucket_count, -1);
     }
 
     /// Convenience: index sized for radius-r queries (bucket side max(r,1)).
@@ -48,42 +61,103 @@ public:
     [[nodiscard]] grid::Coord buckets_x() const noexcept { return buckets_x_; }
     [[nodiscard]] grid::Coord buckets_y() const noexcept { return buckets_y_; }
 
-    /// Rebuilds from current agent positions (index = agent id).
+    /// Number of buckets currently holding at least one agent.
+    [[nodiscard]] std::size_t occupied_bucket_count() const noexcept { return occupied_.size(); }
+
+    /// Rebuilds from current agent positions (index = agent id). The span's
+    /// storage must stay alive and in place until the next rebuild: queries
+    /// read positions through it, and move() keeps it authoritative.
     void rebuild(std::span<const grid::Point> positions) {
-        for (const auto b : dirty_) head_[static_cast<std::size_t>(b)] = -1;
-        dirty_.clear();
-        next_.assign(positions.size(), -1);
-        points_ = positions;
-        for (std::size_t a = 0; a < positions.size(); ++a) {
-            const auto b = bucket_of(positions[a]);
-            auto& head = head_[static_cast<std::size_t>(b)];
-            if (head == -1) dirty_.push_back(b);
-            next_[a] = head;
-            head = static_cast<std::int32_t>(a);
+        for (const auto b : occupied_) {
+            head_[static_cast<std::size_t>(b)] = -1;
+            where_[static_cast<std::size_t>(b)] = -1;
         }
+        occupied_.clear();
+        const auto k = positions.size();
+        next_.assign(k, -1);
+        prev_.assign(k, -1);
+        agent_bx_.resize(k);
+        agent_by_.resize(k);
+        points_ = positions;
+        for (std::size_t a = 0; a < k; ++a) {
+            link_front(static_cast<std::int32_t>(a), positions[a].x / side_,
+                       positions[a].y / side_);
+        }
+    }
+
+    /// Relocates one agent after it moved from `from` to `to`; O(1). The
+    /// caller must already have written `to` into the positions storage the
+    /// index was rebuilt over. No-op when both map to the same bucket.
+    void move(std::int32_t agent, grid::Point from, grid::Point to) noexcept {
+        const auto a = static_cast<std::size_t>(agent);
+        assert(a < next_.size() && "BucketIndex::move before rebuild");
+        assert(agent_bx_[a] == from.x / side_ && agent_by_[a] == from.y / side_ &&
+               "BucketIndex::move: stale `from` position");
+        (void)from;
+        const auto bx = agent_bx_[a];
+        const auto by = agent_by_[a];
+        // Adjacent-bucket fast path (multiplications only); division
+        // fallback for teleports spanning several buckets.
+        const auto nbx = shift_bucket(bx, to.x);
+        const auto nby = shift_bucket(by, to.y);
+        if (nbx == bx && nby == by) return;
+        // Unlink from the old bucket.
+        const auto nxt = next_[a];
+        const auto prv = prev_[a];
+        if (prv != -1) {
+            next_[static_cast<std::size_t>(prv)] = nxt;
+        } else {
+            const auto bucket = std::int64_t{by} * buckets_x_ + bx;
+            head_[static_cast<std::size_t>(bucket)] = nxt;
+            if (nxt == -1) drop_occupied(bucket);
+        }
+        if (nxt != -1) prev_[static_cast<std::size_t>(nxt)] = prv;
+        link_front(agent, nbx, nby);
     }
 
     /// Calls `fn(agent_id)` for every agent within distance `radius` of `p`
     /// under `metric` (including agents exactly at distance radius and any
-    /// agent co-located with p). Requires radius <= bucket_side().
+    /// agent co-located with p). Correct for any radius: the bucket scan
+    /// widens to ceil(radius / bucket_side) rings as needed.
     template <typename Fn>
     void for_each_within(grid::Point p, std::int64_t radius, grid::Metric metric,
                          Fn&& fn) const {
-        assert(radius <= side_ && "BucketIndex bucket_side too small for this radius");
+        const auto reach = static_cast<grid::Coord>((radius + side_ - 1) / side_);
         const auto bx = p.x / side_;
         const auto by = p.y / side_;
-        for (grid::Coord cy = std::max<grid::Coord>(0, by - 1);
-             cy <= std::min<grid::Coord>(buckets_y_ - 1, by + 1); ++cy) {
-            for (grid::Coord cx = std::max<grid::Coord>(0, bx - 1);
-                 cx <= std::min<grid::Coord>(buckets_x_ - 1, bx + 1); ++cx) {
-                const auto b = std::int64_t{cy} * buckets_x_ + cx;
-                for (auto a = head_[static_cast<std::size_t>(b)]; a != -1;
+        for (grid::Coord cy = std::max<grid::Coord>(0, by - reach);
+             cy <= std::min<grid::Coord>(buckets_y_ - 1, by + reach); ++cy) {
+            for (grid::Coord cx = std::max<grid::Coord>(0, bx - reach);
+                 cx <= std::min<grid::Coord>(buckets_x_ - 1, bx + reach); ++cx) {
+                for (auto a = head_[bucket_slot(cx, cy)]; a != -1;
                      a = next_[static_cast<std::size_t>(a)]) {
                     if (grid::within(p, points_[static_cast<std::size_t>(a)], radius, metric)) {
                         fn(a);
                     }
                 }
             }
+        }
+    }
+
+    /// Calls `fn(a, b)` exactly once for every unordered pair of distinct
+    /// agents within distance `radius` of each other under `metric`.
+    /// Half-neighborhood enumeration: each occupied bucket is paired with
+    /// itself and its "forward" neighbors (for radius ≤ bucket_side: E,
+    /// SW, S, SE), so no pair is ever visited twice — half the work of a
+    /// symmetric per-agent scan. Wider radii extend the forward half-plane
+    /// accordingly.
+    template <typename Fn>
+    void for_each_pair_within(std::int64_t radius, grid::Metric metric, Fn&& fn) {
+        switch (metric) {
+            case grid::Metric::kManhattan:
+                pair_scan<grid::Metric::kManhattan>(radius, fn);
+                return;
+            case grid::Metric::kChebyshev:
+                pair_scan<grid::Metric::kChebyshev>(radius, fn);
+                return;
+            case grid::Metric::kEuclidean:
+                pair_scan<grid::Metric::kEuclidean>(radius, fn);
+                return;
         }
     }
 
@@ -104,14 +178,146 @@ public:
     }
 
 private:
+    [[nodiscard]] std::size_t bucket_slot(grid::Coord bx, grid::Coord by) const noexcept {
+        return static_cast<std::size_t>(std::int64_t{by} * buckets_x_ + bx);
+    }
+
+    /// New bucket coordinate of axis value `v` whose previous bucket
+    /// coordinate was `c`: unchanged or ±1 without dividing, anything
+    /// farther (teleports) via division.
+    [[nodiscard]] grid::Coord shift_bucket(grid::Coord c, grid::Coord v) const noexcept {
+        if (v < std::int64_t{c} * side_) {
+            --c;
+            if (v < std::int64_t{c} * side_) c = v / side_;
+        } else if (v >= std::int64_t{c + 1} * side_) {
+            ++c;
+            if (v >= std::int64_t{c + 1} * side_) c = v / side_;
+        }
+        return c;
+    }
+
+    void link_front(std::int32_t agent, grid::Coord bx, grid::Coord by) noexcept {
+        const auto a = static_cast<std::size_t>(agent);
+        const auto bucket = std::int64_t{by} * buckets_x_ + bx;
+        auto& head = head_[static_cast<std::size_t>(bucket)];
+        if (head == -1) {
+            where_[static_cast<std::size_t>(bucket)] =
+                static_cast<std::int32_t>(occupied_.size());
+            occupied_.push_back(bucket);
+        } else {
+            prev_[static_cast<std::size_t>(head)] = agent;
+        }
+        next_[a] = head;
+        prev_[a] = -1;
+        head = agent;
+        agent_bx_[a] = bx;
+        agent_by_[a] = by;
+    }
+
+    void drop_occupied(std::int64_t bucket) noexcept {
+        const auto slot = where_[static_cast<std::size_t>(bucket)];
+        const auto last = occupied_.back();
+        occupied_[static_cast<std::size_t>(slot)] = last;
+        where_[static_cast<std::size_t>(last)] = slot;
+        occupied_.pop_back();
+        where_[static_cast<std::size_t>(bucket)] = -1;
+    }
+
+    /// Pairs a gathered bucket (gather_ids_/gather_pts_) against the list
+    /// of bucket `nb`.
+    template <grid::Metric M, typename Fn>
+    void cross_pairs(std::int64_t nb, std::int64_t radius, Fn& fn) const {
+        for (auto b = head_[static_cast<std::size_t>(nb)]; b != -1;
+             b = next_[static_cast<std::size_t>(b)]) {
+            const auto p2 = points_[static_cast<std::size_t>(b)];
+            for (std::size_t i = 0; i < gather_ids_.size(); ++i) {
+                if (grid::within(gather_pts_[i], p2, radius, M)) {
+                    fn(gather_ids_[i], b);
+                }
+            }
+        }
+    }
+
+    /// Self pairs + forward half-neighborhood of the bucket at (bx, by),
+    /// whose members have been gathered into the scratch arrays.
+    template <grid::Metric M, typename Fn>
+    void bucket_pairs(grid::Coord bx, grid::Coord by, grid::Coord reach, std::int64_t radius,
+                      Fn& fn) const {
+        const auto count = gather_ids_.size();
+        for (std::size_t i = 0; i < count; ++i) {
+            for (std::size_t j = i + 1; j < count; ++j) {
+                if (grid::within(gather_pts_[i], gather_pts_[j], radius, M)) {
+                    fn(gather_ids_[i], gather_ids_[j]);
+                }
+            }
+        }
+        // Forward offsets: (dx,dy) with dy = 0 ∧ dx > 0, or dy > 0 (any
+        // dx) — each unordered bucket pair is visited from exactly one side.
+        const auto bucket = std::int64_t{by} * buckets_x_ + bx;
+        for (grid::Coord dy = 0; dy <= reach; ++dy) {
+            const auto ny = by + dy;
+            if (ny >= buckets_y_) break;
+            const auto dx_lo = dy == 0 ? grid::Coord{1} : static_cast<grid::Coord>(-reach);
+            for (grid::Coord dx = dx_lo; dx <= reach; ++dx) {
+                const auto nx = bx + dx;
+                if (nx < 0 || nx >= buckets_x_) continue;
+                cross_pairs<M>(bucket + std::int64_t{dy} * buckets_x_ + dx, radius, fn);
+            }
+        }
+    }
+
+    template <grid::Metric M, typename Fn>
+    void pair_scan(std::int64_t radius, Fn& fn) {
+        const auto reach = static_cast<grid::Coord>((radius + side_ - 1) / side_);
+        const auto bucket_count = head_.size();
+        if (occupied_.size() * 2 >= bucket_count) {
+            // Dense regime: sweep all buckets in row-major order — head_
+            // and the forward-neighbor rows stay cache-resident, unlike a
+            // walk of the (arbitrarily ordered) occupied list.
+            for (grid::Coord by = 0; by < buckets_y_; ++by) {
+                for (grid::Coord bx = 0; bx < buckets_x_; ++bx) {
+                    if (gather(head_[bucket_slot(bx, by)])) {
+                        bucket_pairs<M>(bx, by, reach, radius, fn);
+                    }
+                }
+            }
+            return;
+        }
+        // Sparse regime: only the occupied buckets are worth visiting.
+        for (const auto b : occupied_) {
+            gather(head_[static_cast<std::size_t>(b)]);
+            bucket_pairs<M>(static_cast<grid::Coord>(b % buckets_x_),
+                            static_cast<grid::Coord>(b / buckets_x_), reach, radius, fn);
+        }
+    }
+
+    /// Copies the agent list starting at `first` into contiguous scratch so
+    /// the pair loops run over L1-resident arrays instead of chasing the
+    /// intrusive lists per candidate pair. Returns false for empty buckets.
+    bool gather(std::int32_t first) {
+        gather_ids_.clear();
+        gather_pts_.clear();
+        for (auto a = first; a != -1; a = next_[static_cast<std::size_t>(a)]) {
+            gather_ids_.push_back(a);
+            gather_pts_.push_back(points_[static_cast<std::size_t>(a)]);
+        }
+        return !gather_ids_.empty();
+    }
+
     grid::Grid2D grid_;
     grid::Coord side_;
     grid::Coord buckets_x_{0};
     grid::Coord buckets_y_{0};
-    std::vector<std::int32_t> head_;
-    std::vector<std::int32_t> next_;
-    std::vector<std::int64_t> dirty_;
-    std::span<const grid::Point> points_;  ///< view of the last rebuild
+    std::vector<std::int32_t> head_;        ///< bucket -> first agent
+    std::vector<std::int32_t> next_;        ///< agent -> next in bucket
+    std::vector<std::int32_t> prev_;        ///< agent -> previous in bucket
+    std::vector<grid::Coord> agent_bx_;     ///< agent -> bucket x coordinate
+    std::vector<grid::Coord> agent_by_;     ///< agent -> bucket y coordinate
+    std::vector<std::int64_t> occupied_;    ///< buckets with >= 1 agent
+    std::vector<std::int32_t> where_;       ///< bucket -> slot in occupied_ (-1)
+    std::vector<std::int32_t> gather_ids_;  ///< pair-scan scratch: agent ids
+    std::vector<grid::Point> gather_pts_;   ///< pair-scan scratch: positions
+    std::span<const grid::Point> points_;   ///< view of the indexed storage
 };
 
 }  // namespace smn::spatial

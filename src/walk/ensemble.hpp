@@ -4,8 +4,24 @@
 // synchronized step at a time, exactly as in the paper's model (Sec. 2):
 // all agents move simultaneously and independently. Initial placement is
 // uniform and independent over the grid nodes.
+//
+// Layout: structure-of-arrays. The walk kernel reads and writes separate
+// x/y coordinate arrays (vectorization-friendly, and the batched decode
+// pass below touches only raw RNG words and one byte per agent); an
+// array-of-Point mirror is kept coherent in the same pass so the wide
+// span<const Point> API surface (spatial indexes, observers, renderers)
+// stays zero-copy.
+//
+// Stepping is batched: raw RNG words are drawn in blocks (rng::BlockRng)
+// and decoded branch-light through walk::kStepTable. The kernel consumes
+// exactly the same engine-word stream as the scalar walk::step loop it
+// replaced — one bounded draw per moving agent, in agent order, Lemire
+// rejections included — so every existing seed reproduces bit-identical
+// trajectories (see docs/performance.md for the invariant).
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <span>
@@ -31,23 +47,25 @@ public:
                   WalkKind kind = WalkKind::kLazyPaper)
         : grid_{grid}, kind_{kind} {
         if (k < 1) throw std::invalid_argument("AgentEnsemble: k must be >= 1");
-        positions_.reserve(static_cast<std::size_t>(k));
+        reserve(static_cast<std::size_t>(k));
         for (std::int32_t i = 0; i < k; ++i) {
-            positions_.push_back(random_node(grid, rng));
+            push_agent(random_node(grid, rng));
         }
     }
 
     /// Creates agents at caller-chosen positions (each must be on the grid).
     AgentEnsemble(const grid::Grid2D& grid, std::vector<grid::Point> positions,
                   WalkKind kind = WalkKind::kLazyPaper)
-        : grid_{grid}, positions_{std::move(positions)}, kind_{kind} {
-        if (positions_.empty()) {
+        : grid_{grid}, kind_{kind} {
+        if (positions.empty()) {
             throw std::invalid_argument("AgentEnsemble: need at least one agent");
         }
-        for (const auto& p : positions_) {
+        reserve(positions.size());
+        for (const auto& p : positions) {
             if (!grid_.contains(p)) {
                 throw std::invalid_argument("AgentEnsemble: initial position off-grid");
             }
+            push_agent(p);
         }
     }
 
@@ -70,40 +88,154 @@ public:
         return positions_[static_cast<std::size_t>(a)];
     }
 
-    /// Read-only view of all positions (index = agent id).
+    /// Read-only view of all positions (index = agent id). The underlying
+    /// storage is stable for the ensemble's lifetime, so spatial indexes
+    /// may hold this span across steps.
     [[nodiscard]] std::span<const grid::Point> positions() const noexcept { return positions_; }
+
+    /// SoA coordinate views (index = agent id).
+    [[nodiscard]] std::span<const grid::Coord> xs() const noexcept { return xs_; }
+    [[nodiscard]] std::span<const grid::Coord> ys() const noexcept { return ys_; }
 
     /// Moves one agent (used by models where only a subset moves, e.g. the
     /// Frog model).
     void set_position(AgentId a, grid::Point p) noexcept {
         assert(a >= 0 && a < count() && grid_.contains(p));
-        positions_[static_cast<std::size_t>(a)] = p;
+        const auto i = static_cast<std::size_t>(a);
+        xs_[i] = p.x;
+        ys_[i] = p.y;
+        positions_[i] = p;
     }
 
     /// Advances every agent by one synchronized step.
-    void step_all(rng::Rng& rng) noexcept {
-        for (auto& p : positions_) p = step(grid_, p, rng, kind_);
+    void step_all(rng::Rng& rng) { step_all(rng, [](AgentId, grid::Point, grid::Point) {}); }
+
+    /// As step_all, additionally reporting `on_move(agent, from, to)` for
+    /// every agent whose node changed (in agent order) — the hook the
+    /// incremental spatial index hangs off.
+    template <typename OnMove>
+    void step_all(rng::Rng& rng, OnMove&& on_move) {
+        step_indices(
+            rng, positions_.size(), [](std::size_t i) { return i; }, on_move);
     }
 
     /// Advances only the agents for which `should_move[a]` is true; the
     /// others stay frozen (Frog-model dynamics, Sec. 4).
-    void step_subset(rng::Rng& rng, std::span<const std::uint8_t> should_move) noexcept {
+    void step_subset(rng::Rng& rng, std::span<const std::uint8_t> should_move) {
+        step_subset(rng, should_move, [](AgentId, grid::Point, grid::Point) {});
+    }
+
+    /// As step_subset, with the per-move hook of step_all.
+    template <typename OnMove>
+    void step_subset(rng::Rng& rng, std::span<const std::uint8_t> should_move,
+                     OnMove&& on_move) {
         assert(should_move.size() == positions_.size());
-        for (std::size_t i = 0; i < positions_.size(); ++i) {
-            if (should_move[i]) positions_[i] = step(grid_, positions_[i], rng, kind_);
+        moving_.clear();
+        for (std::size_t i = 0; i < should_move.size(); ++i) {
+            if (should_move[i]) moving_.push_back(static_cast<std::int32_t>(i));
         }
+        step_indices(
+            rng, moving_.size(),
+            [this](std::size_t i) { return static_cast<std::size_t>(moving_[i]); }, on_move);
     }
 
     /// Advances a single agent by one step.
     void step_one(AgentId a, rng::Rng& rng) noexcept {
-        auto& p = positions_[static_cast<std::size_t>(a)];
-        p = step(grid_, p, rng, kind_);
+        set_position(a, step(grid_, position(a), rng, kind_));
     }
 
 private:
+    /// Agents decoded per RNG block; 8 KiB of raw words + 1 KiB of draws,
+    /// comfortably L1-resident.
+    static constexpr std::size_t kBlockSize = 1024;
+    /// Lemire rejection threshold for bound 5 (the lazy-paper draw).
+    static constexpr std::uint64_t kThreshold5 = (0 - std::uint64_t{5}) % 5;
+
+    void reserve(std::size_t k) {
+        xs_.reserve(k);
+        ys_.reserve(k);
+        positions_.reserve(k);
+    }
+
+    void push_agent(grid::Point p) {
+        xs_.push_back(p.x);
+        ys_.push_back(p.y);
+        positions_.push_back(p);
+    }
+
+    /// Batched step over `count` agents selected by `index_of` (identity
+    /// for step_all, the moving-agent list for step_subset), in order.
+    template <typename IndexFn, typename OnMove>
+    void step_indices(rng::Rng& rng, std::size_t count, IndexFn&& index_of, OnMove&& on_move) {
+        const auto width = grid_.width();
+        const auto height = grid_.height();
+        for (std::size_t base = 0; base < count; base += kBlockSize) {
+            const std::size_t len = std::min(kBlockSize, count - base);
+            block_.fill(rng, len);
+            if (kind_ == WalkKind::kLazyPaper && decode_lazy_paper(len)) {
+                // Common path: every buffered word decoded rejection-free.
+                for (std::size_t i = 0; i < len; ++i) {
+                    const auto a = index_of(base + i);
+                    apply(a, direction_mask(xs_[a], ys_[a], width, height), draws_[i], on_move);
+                }
+            } else {
+                // Exact scalar path: ablation walks, and the ~2^-64 case of
+                // a Lemire rejection inside the block. Consumes the same
+                // buffered words through BlockRng, so the stream matches.
+                for (std::size_t i = 0; i < len; ++i) {
+                    const auto a = index_of(base + i);
+                    const auto mask = direction_mask(xs_[a], ys_[a], width, height);
+                    const auto deg = static_cast<std::uint64_t>(std::popcount(mask));
+                    std::uint64_t u = 0;
+                    switch (kind_) {
+                        case WalkKind::kLazyPaper: u = block_.below(rng, 5); break;
+                        case WalkKind::kSimple: u = block_.below(rng, deg); break;
+                        case WalkKind::kLazyHalf:
+                            u = std::min<std::uint64_t>(block_.below(rng, 2 * deg), 4);
+                            break;
+                    }
+                    apply(a, mask, static_cast<unsigned>(u), on_move);
+                }
+            }
+        }
+    }
+
+    /// Pass 1 of the lazy-paper kernel: decode the block's raw words into
+    /// draws_ (u ∈ [0,5)) with Lemire's multiply. Returns false — leaving
+    /// draws_ unusable — iff any word would have been rejected.
+    bool decode_lazy_paper(std::size_t len) {
+        const auto words = block_.words();
+        draws_.resize(len);
+        std::uint64_t rejected = 0;
+        for (std::size_t i = 0; i < len; ++i) {
+            const auto m =
+                static_cast<__uint128_t>(words[i]) * static_cast<__uint128_t>(std::uint64_t{5});
+            rejected |= static_cast<std::uint64_t>(static_cast<std::uint64_t>(m) < kThreshold5);
+            draws_[i] = static_cast<std::uint8_t>(m >> 64);
+        }
+        return rejected == 0;
+    }
+
+    /// Pass 2: apply one decoded draw via the direction table.
+    template <typename OnMove>
+    void apply(std::size_t a, unsigned mask, unsigned u, OnMove&& on_move) {
+        const auto d = kStepTable[mask * 5 + u];
+        if ((d.dx | d.dy) == 0) return;
+        const grid::Point from = positions_[a];
+        xs_[a] = static_cast<grid::Coord>(from.x + d.dx);
+        ys_[a] = static_cast<grid::Coord>(from.y + d.dy);
+        positions_[a] = grid::Point{xs_[a], ys_[a]};
+        on_move(static_cast<AgentId>(a), from, positions_[a]);
+    }
+
     grid::Grid2D grid_;
-    std::vector<grid::Point> positions_;
+    std::vector<grid::Coord> xs_;           ///< SoA x coordinates
+    std::vector<grid::Coord> ys_;           ///< SoA y coordinates
+    std::vector<grid::Point> positions_;    ///< coherent AoS mirror for span views
     WalkKind kind_;
+    rng::BlockRng block_;                   ///< block-drawn raw RNG words
+    std::vector<std::uint8_t> draws_;       ///< decoded u per block slot
+    std::vector<std::int32_t> moving_;      ///< scratch: step_subset selection
 };
 
 }  // namespace smn::walk

@@ -39,6 +39,40 @@ enum class WalkKind : std::uint8_t {
     return "?";
 }
 
+/// One lattice displacement of a batched walk kernel.
+struct StepDelta {
+    std::int8_t dx{0};
+    std::int8_t dy{0};
+};
+
+/// Direction table for the branch-light batched kernels. Entry
+/// [mask * 5 + u] is the displacement of the u-th *present* direction in
+/// the grid's neighbor order (−x, +x, −y, +y), where bit d of `mask` says
+/// whether direction d exists at the agent's node; u ≥ popcount(mask)
+/// yields {0,0} (stay). This reproduces Grid2D::neighbors' compaction
+/// exactly, so table-driven stepping is bit-identical to walk::step.
+[[nodiscard]] constexpr std::array<StepDelta, 16 * 5> make_step_table() noexcept {
+    std::array<StepDelta, 16 * 5> table{};
+    constexpr StepDelta dirs[4] = {{-1, 0}, {1, 0}, {0, -1}, {0, 1}};
+    for (unsigned mask = 0; mask < 16; ++mask) {
+        unsigned count = 0;
+        for (unsigned d = 0; d < 4; ++d) {
+            if (mask & (1U << d)) table[mask * 5 + count++] = dirs[d];
+        }
+    }
+    return table;
+}
+
+inline constexpr std::array<StepDelta, 16 * 5> kStepTable = make_step_table();
+
+/// Presence mask of the four grid directions at (x, y) on a bounded
+/// width×height grid; popcount equals the node degree n_v.
+[[nodiscard]] constexpr unsigned direction_mask(grid::Coord x, grid::Coord y, grid::Coord width,
+                                                grid::Coord height) noexcept {
+    return static_cast<unsigned>(x > 0) | static_cast<unsigned>(x + 1 < width) << 1 |
+           static_cast<unsigned>(y > 0) << 2 | static_cast<unsigned>(y + 1 < height) << 3;
+}
+
 /// Performs one step of the selected walk from `p` on `grid`.
 template <typename GridT>
 [[nodiscard]] inline grid::Point step(const GridT& grid, grid::Point p, rng::Rng& rng,

@@ -191,6 +191,58 @@ TEST(Visibility, BuilderIsReusableAcrossSteps) {
     }
 }
 
+// The engine's incremental protocol: one build(), then per-step walk moves
+// reported through on_move() and components recomputed from the maintained
+// index. Must match the brute-force reference at every step, for the ISSUE
+// 3 radius grid r ∈ {0, 1, 2, 5} under all three metrics.
+struct IncrementalVisParam {
+    std::int64_t radius;
+    Metric metric;
+};
+
+class VisibilityIncremental : public ::testing::TestWithParam<IncrementalVisParam> {};
+
+TEST_P(VisibilityIncremental, MoveSequencesMatchNaiveComponents) {
+    const auto param = GetParam();
+    const auto g = Grid2D::square(18);
+    rng::Rng rng{static_cast<std::uint64_t>(900 + param.radius)};
+    VisibilityGraphBuilder builder{g, param.radius, param.metric};
+    DisjointSets fast{0};
+    DisjointSets slow{0};
+    std::vector<Point> pos;
+    for (int i = 0; i < 28; ++i) pos.push_back(walk::AgentEnsemble::random_node(g, rng));
+    builder.build(pos, fast);
+    VisibilityGraphBuilder::build_naive(pos, param.radius, param.metric, slow);
+    EXPECT_EQ(canonical(fast), canonical(slow));
+    for (int step = 0; step < 40; ++step) {
+        for (std::size_t a = 0; a < pos.size(); ++a) {
+            const auto from = pos[a];
+            pos[a] = walk::step(g, from, rng);
+            if (pos[a] != from) {
+                builder.on_move(static_cast<std::int32_t>(a), from, pos[a]);
+            }
+        }
+        builder.rebuild_components(pos, fast);
+        VisibilityGraphBuilder::build_naive(pos, param.radius, param.metric, slow);
+        EXPECT_EQ(canonical(fast), canonical(slow))
+            << "step " << step << " r " << param.radius << " metric "
+            << grid::metric_name(param.metric);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RadiiAndMetrics, VisibilityIncremental,
+    ::testing::Values(IncrementalVisParam{0, Metric::kManhattan},
+                      IncrementalVisParam{1, Metric::kManhattan},
+                      IncrementalVisParam{2, Metric::kManhattan},
+                      IncrementalVisParam{5, Metric::kManhattan},
+                      IncrementalVisParam{1, Metric::kChebyshev},
+                      IncrementalVisParam{2, Metric::kChebyshev},
+                      IncrementalVisParam{5, Metric::kChebyshev},
+                      IncrementalVisParam{1, Metric::kEuclidean},
+                      IncrementalVisParam{2, Metric::kEuclidean},
+                      IncrementalVisParam{5, Metric::kEuclidean}));
+
 // ---------------------------------------------------------- ComponentStats
 
 TEST(Stats, SingletonPartition) {
@@ -244,6 +296,35 @@ TEST(Stats, ComponentLabelsPartitionAgents) {
     EXPECT_EQ(labels[0], labels[5]);
     EXPECT_EQ(labels[0], labels[7]);
     EXPECT_NE(labels[0], labels[1]);
+}
+
+// The buffer-reusing overloads must agree with the allocating forms, and
+// must fully overwrite whatever a previous call left in the buffers.
+TEST(Stats, BufferReusingOverloadsMatchAllocatingForms) {
+    rng::Rng rng{17};
+    ComponentStats reused;
+    std::vector<std::int64_t> scratch;
+    std::vector<std::int32_t> labels_reused;
+    for (const std::size_t k : {1u, 7u, 30u, 13u}) {  // shrinking sizes too
+        DisjointSets dsu{k};
+        for (std::size_t i = 0; i + 1 < k; ++i) {
+            if (rng.below(2) == 0) {
+                dsu.unite(static_cast<std::int32_t>(rng.below(k)),
+                          static_cast<std::int32_t>(rng.below(k)));
+            }
+        }
+        const auto fresh = component_stats(dsu);
+        component_stats(dsu, reused, scratch);
+        EXPECT_EQ(reused.component_count, fresh.component_count);
+        EXPECT_EQ(reused.max_size, fresh.max_size);
+        EXPECT_DOUBLE_EQ(reused.mean_size, fresh.mean_size);
+        EXPECT_DOUBLE_EQ(reused.largest_fraction, fresh.largest_fraction);
+        EXPECT_EQ(reused.size_histogram, fresh.size_histogram);
+        EXPECT_EQ(reused.singletons(), fresh.singletons());
+
+        component_labels(dsu, labels_reused);
+        EXPECT_EQ(labels_reused, component_labels(dsu));
+    }
 }
 
 // ------------------------------------------------------------- percolation

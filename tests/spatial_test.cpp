@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <set>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "grid/grid.hpp"
@@ -193,6 +196,125 @@ TEST(Bucket, RebuildClearsPreviousState) {
     idx.for_each_within({12, 12}, 2, Metric::kManhattan, [&](std::int32_t) { ++found; });
     EXPECT_EQ(found, 1);
 }
+
+// Regression: querying with radius > bucket_side used to be a debug-only
+// assert, so release builds silently dropped neighbors outside the 3×3
+// block. The scan now widens to the needed number of bucket rings in all
+// build types.
+TEST(Bucket, RadiusLargerThanBucketSideFindsAllNeighbors) {
+    const auto g = Grid2D::square(32);
+    BucketIndex idx{g, 2};  // deliberately smaller than the query radius
+    const std::vector<Point> pos{{5, 5}, {12, 5}, {5, 12}, {16, 16}, {31, 31}, {5, 6}};
+    idx.rebuild(pos);
+    for (const std::int64_t radius : {3, 7, 11, 40}) {
+        for (const auto metric : {Metric::kManhattan, Metric::kChebyshev, Metric::kEuclidean}) {
+            std::set<std::int32_t> fast;
+            std::set<std::int32_t> slow;
+            idx.for_each_within({5, 5}, radius, metric, [&](std::int32_t a) { fast.insert(a); });
+            BucketIndex::for_each_within_naive(pos, {5, 5}, radius, metric,
+                                               [&](std::int32_t a) { slow.insert(a); });
+            EXPECT_EQ(fast, slow) << "radius " << radius << " metric "
+                                  << grid::metric_name(metric);
+        }
+    }
+}
+
+// Canonical unordered-pair set of all in-range pairs, brute force.
+std::set<std::pair<std::int32_t, std::int32_t>> naive_pairs(std::span<const Point> pos,
+                                                            std::int64_t radius,
+                                                            Metric metric) {
+    std::set<std::pair<std::int32_t, std::int32_t>> pairs;
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+        for (std::size_t j = i + 1; j < pos.size(); ++j) {
+            if (grid::within(pos[i], pos[j], radius, metric)) {
+                pairs.emplace(static_cast<std::int32_t>(i), static_cast<std::int32_t>(j));
+            }
+        }
+    }
+    return pairs;
+}
+
+// Collects for_each_pair_within output, asserting each pair arrives once.
+std::set<std::pair<std::int32_t, std::int32_t>> enumerated_pairs(BucketIndex& idx,
+                                                                 std::int64_t radius,
+                                                                 Metric metric) {
+    std::set<std::pair<std::int32_t, std::int32_t>> pairs;
+    idx.for_each_pair_within(radius, metric, [&](std::int32_t a, std::int32_t b) {
+        ASSERT_NE(a, b) << "self pair emitted";
+        const auto key = std::minmax(a, b);
+        const auto inserted = pairs.emplace(key.first, key.second).second;
+        ASSERT_TRUE(inserted) << "pair (" << a << "," << b << ") enumerated twice";
+    });
+    return pairs;
+}
+
+// The half-neighborhood pair enumeration and the incremental move() path:
+// apply random move sequences (mostly single-cell steps, occasional
+// teleports) and check both query flavors against brute force after every
+// batch — for all three metrics and r ∈ {0, 1, 2, 5} (the ISSUE 3 grid).
+struct IncrementalParam {
+    grid::Coord side;
+    int agents;
+    std::int64_t radius;
+    Metric metric;
+};
+
+class BucketIncremental : public ::testing::TestWithParam<IncrementalParam> {};
+
+TEST_P(BucketIncremental, MoveSequencesMatchNaive) {
+    const auto param = GetParam();
+    const auto g = Grid2D::square(param.side);
+    rng::Rng rng{static_cast<std::uint64_t>(param.side * 131 + param.agents + param.radius)};
+    auto idx = BucketIndex::for_radius(g, param.radius);
+
+    std::vector<Point> pos;
+    for (int i = 0; i < param.agents; ++i) {
+        pos.push_back(walk::AgentEnsemble::random_node(g, rng));
+    }
+    idx.rebuild(pos);
+
+    for (int batch = 0; batch < 25; ++batch) {
+        const int moves = 1 + static_cast<int>(rng.below(8));
+        for (int m = 0; m < moves; ++m) {
+            const auto a = static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(param.agents)));
+            const auto from = pos[static_cast<std::size_t>(a)];
+            Point to;
+            if (rng.below(8) == 0) {
+                to = walk::AgentEnsemble::random_node(g, rng);  // teleport
+            } else {
+                std::array<Point, Grid2D::kMaxDegree> nbr;
+                const auto deg = g.neighbors(from, nbr);
+                to = nbr[static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(deg)))];
+            }
+            pos[static_cast<std::size_t>(a)] = to;
+            idx.move(a, from, to);
+        }
+        EXPECT_EQ(enumerated_pairs(idx, param.radius, param.metric),
+                  naive_pairs(pos, param.radius, param.metric))
+            << "batch " << batch;
+        const auto probe = pos[static_cast<std::size_t>(rng.below(pos.size()))];
+        std::set<std::int32_t> fast;
+        std::set<std::int32_t> slow;
+        idx.for_each_within(probe, param.radius, param.metric,
+                            [&](std::int32_t a) { fast.insert(a); });
+        BucketIndex::for_each_within_naive(pos, probe, param.radius, param.metric,
+                                           [&](std::int32_t a) { slow.insert(a); });
+        EXPECT_EQ(fast, slow) << "batch " << batch;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MovesRadiiMetrics, BucketIncremental,
+    ::testing::Values(IncrementalParam{12, 18, 0, Metric::kManhattan},
+                      IncrementalParam{12, 18, 1, Metric::kManhattan},
+                      IncrementalParam{16, 30, 2, Metric::kManhattan},
+                      IncrementalParam{16, 30, 5, Metric::kManhattan},
+                      IncrementalParam{16, 30, 2, Metric::kChebyshev},
+                      IncrementalParam{16, 30, 5, Metric::kChebyshev},
+                      IncrementalParam{16, 30, 2, Metric::kEuclidean},
+                      IncrementalParam{16, 30, 5, Metric::kEuclidean},
+                      IncrementalParam{48, 10, 5, Metric::kManhattan},   // sparse
+                      IncrementalParam{10, 60, 1, Metric::kManhattan}));  // dense
 
 }  // namespace
 }  // namespace smn::spatial
