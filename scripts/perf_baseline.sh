@@ -9,7 +9,7 @@
 set -euo pipefail
 
 build_dir="${1:-build}"
-out_json="${2:-results/BENCH_PR3.json}"
+out_json="${2:-results/BENCH_PR4.json}"
 baseline_json="${3:-}"
 
 out_dir="$(dirname "${out_json}")"

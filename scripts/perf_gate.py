@@ -3,7 +3,7 @@
 and (optionally) gate it against a checked-in baseline.
 
 Usage:
-  perf_gate.py <fresh.jsonl> <out.json> [--baseline BENCH_PR3.json]
+  perf_gate.py <fresh.jsonl> <out.json> [--baseline BENCH_PR4.json]
                [--min-ratio 0.7]
 
 The fresh JSONL must have been produced with --timings. Each parameter
@@ -43,12 +43,20 @@ def main():
             timing = rec.get("timing")
             if timing is None:
                 sys.exit("perf_gate: record without timing — rerun smn_lab with --timings")
-            points.append({
+            point = {
                 "key": canonical_key(rec["params"]),
                 "scenario": rec["scenario"],
                 "steps_per_s": timing["steps_per_s"],
                 "wall_s": timing["wall_s"],
-            })
+            }
+            phases = timing.get("phases")
+            if phases:
+                point["phases"] = phases
+                fracs = ", ".join(
+                    f"{name[:-5]} {phases[name]:.0%}"
+                    for name in sorted(phases) if name.endswith("_frac"))
+                print(f"[perf-gate] {point['key']}: phase split: {fracs}")
+            points.append(point)
     if not points:
         sys.exit("perf_gate: no records in " + args.fresh_jsonl)
 

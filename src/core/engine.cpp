@@ -1,7 +1,11 @@
 #include "core/engine.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <string>
+
+#include "graph/visibility.hpp"
 
 namespace smn::core {
 
@@ -50,11 +54,26 @@ BroadcastProcess::BroadcastProcess(const EngineConfig& config)
 
 void BroadcastProcess::step() {
     ++t_;
+    using clock = std::chrono::steady_clock;
+    const auto stamp = [this] { return timing_ ? clock::now() : clock::time_point{}; };
+    const auto t0 = stamp();
+    // Once the rumor has saturated and nothing observes the partition,
+    // neither the component pass nor the exchange can affect observable
+    // state — and with the component pass deferred, maintaining the
+    // spatial index per move is pointless too. The step degenerates to
+    // the walk; components() rebuilds index + partition on demand.
+    const bool lazy = observers_.empty() && rumor_.all_informed();
+    // A fresh dirty epoch — unless state is deferred, in which case the
+    // index will be rebuilt from scratch anyway.
+    if (!lazy && !stale_) builder_.begin_step();
     // Boundary-crossing agents feed the incremental spatial index; the
     // constructor's build() indexed the ensemble's (stable) position
-    // storage, so only the component pass below runs over all k.
-    const auto report = [this](walk::AgentId a, grid::Point from, grid::Point to) {
-        builder_.on_move(a, from, to);
+    // storage, so only the component pass below runs over the dirty
+    // region. No hook while deferred: the on-demand build() re-links
+    // everything.
+    const bool hook = !lazy && !stale_;
+    const auto report = [this, hook](walk::AgentId a, grid::Point from, grid::Point to) {
+        if (hook) builder_.on_move(a, from, to);
     };
     if (config_.mobility == Mobility::kAllMove) {
         agents_.step_all(rng_, report);
@@ -66,9 +85,55 @@ void BroadcastProcess::step() {
         std::copy(flags.begin(), flags.end(), move_mask_.begin());
         agents_.step_subset(rng_, move_mask_, report);
     }
-    builder_.rebuild_components(agents_.positions(), dsu_);
+    const auto t1 = stamp();
+    if (timing_) walk_seconds_ += std::chrono::duration<double>(t1 - t0).count();
+    if (lazy) {
+        stale_ = true;
+        return;
+    }
+    if (stale_) {
+        // First observed step after deferred ones: re-index from scratch.
+        builder_.build(agents_.positions(), dsu_);
+        stale_ = false;
+    } else {
+        builder_.rebuild_components(agents_.positions(), dsu_);
+    }
+    const auto t2 = stamp();
     exchange();
+    if (timing_) {
+        const auto t3 = clock::now();
+        rebuild_seconds_ += std::chrono::duration<double>(t2 - t1).count();
+        exchange_seconds_ += std::chrono::duration<double>(t3 - t2).count();
+    }
     notify();
+}
+
+void BroadcastProcess::refresh_components() {
+    if (!stale_) return;  // partition is current as of the last full step
+    // Deferred steps walked without index maintenance: re-index from
+    // scratch, which also recomputes the partition. Accounted under the
+    // rebuild phase so phase_timings() subtraction stays consistent.
+    using clock = std::chrono::steady_clock;
+    const auto t0 = timing_ ? clock::now() : clock::time_point{};
+    builder_.build(agents_.positions(), dsu_);
+    if (timing_) rebuild_seconds_ += std::chrono::duration<double>(clock::now() - t0).count();
+    stale_ = false;
+}
+
+void BroadcastProcess::set_phase_timing(bool on) noexcept {
+    timing_ = on;
+    builder_.set_timing(on);
+}
+
+StepPhaseTimings BroadcastProcess::phase_timings() const noexcept {
+    StepPhaseTimings timings;
+    timings.walk_s = walk_seconds_;
+    timings.index_s = builder_.prep_seconds();
+    // Clamp: clock granularity can make the prep total nominally exceed
+    // the enclosing rebuild total.
+    timings.components_s = std::max(0.0, rebuild_seconds_ - builder_.prep_seconds());
+    timings.exchange_s = exchange_seconds_;
+    return timings;
 }
 
 std::optional<std::int64_t> BroadcastProcess::run_until_complete(std::int64_t max_steps) {
@@ -80,17 +145,29 @@ std::optional<std::int64_t> BroadcastProcess::run_until_complete(std::int64_t ma
 }
 
 void BroadcastProcess::exchange() {
-    // Pass 1: mark components holding at least one informed agent.
+    // Saturated: no component can learn anything new.
+    if (rumor_.all_informed()) return;
+    // Pass 1: one find per agent (the labels buffer remembers it for pass
+    // 2, so this is the only find pass), classifying each component —
+    // bit 0: has an informed member, bit 1: has an uninformed member.
     std::fill(root_informed_.begin(), root_informed_.end(), std::uint8_t{0});
     const auto k = config_.k;
+    labels_.resize(static_cast<std::size_t>(k));
+    bool any_mixed = false;
     for (std::int32_t a = 0; a < k; ++a) {
-        if (rumor_.is_informed(a)) {
-            root_informed_[static_cast<std::size_t>(dsu_.find(a))] = 1;
-        }
+        const auto root = dsu_.find(a);
+        labels_[static_cast<std::size_t>(a)] = root;
+        auto& state = root_informed_[static_cast<std::size_t>(root)];
+        state |= rumor_.is_informed(a) ? std::uint8_t{1} : std::uint8_t{2};
+        any_mixed |= state == 3;
     }
-    // Pass 2: flood those components.
+    // Pass 2: flood only mixed components (fully informed ones — the
+    // common case late in a run — need no work). Skipped outright when
+    // every informed component is homogeneous.
+    if (!any_mixed) return;
     for (std::int32_t a = 0; a < k; ++a) {
-        if (root_informed_[static_cast<std::size_t>(dsu_.find(a))]) {
+        const auto root = static_cast<std::size_t>(labels_[static_cast<std::size_t>(a)]);
+        if (root_informed_[root] == 3 && !rumor_.is_informed(a)) {
             rumor_.inform(a, t_);
         }
     }

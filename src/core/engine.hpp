@@ -66,6 +66,19 @@ struct EngineConfig {
     [[nodiscard]] std::int64_t n() const noexcept { return std::int64_t{side} * side; }
 };
 
+/// Cumulative wall-clock attribution of the step loop's phases, captured
+/// when phase timing is enabled (see BroadcastProcess::set_phase_timing).
+/// index_s is the component pass's index-prep portion (CSR snapshot +
+/// taint expansion inside the builder); components_s is the remainder of
+/// the rebuild (pair scan / edge replay + unions); walk_s includes the
+/// O(1) per-move index updates reported from the walk kernel.
+struct StepPhaseTimings {
+    double walk_s{0.0};
+    double index_s{0.0};
+    double components_s{0.0};
+    double exchange_s{0.0};
+};
+
 /// State snapshot passed to observers after each exchange.
 struct StepView {
     std::int64_t time;                          ///< current t (0 = initial)
@@ -117,12 +130,27 @@ public:
     [[nodiscard]] const grid::Grid2D& grid() const noexcept { return agents_.grid(); }
     [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
 
-    /// The component partition computed at the current time step.
-    [[nodiscard]] graph::DisjointSets& components() noexcept { return dsu_; }
+    /// The component partition of G_t(r) at the current time step. Once
+    /// the rumor has saturated and no observers are attached, step() skips
+    /// the (unobservable) component pass; this accessor recomputes it on
+    /// demand, so callers always see the partition of the current
+    /// positions.
+    [[nodiscard]] graph::DisjointSets& components() {
+        refresh_components();
+        return dsu_;
+    }
+
+    /// Enables cumulative per-phase wall-clock attribution of step().
+    void set_phase_timing(bool on) noexcept;
+
+    /// Phase totals accumulated since construction (zeros unless
+    /// set_phase_timing(true) was called before stepping).
+    [[nodiscard]] StepPhaseTimings phase_timings() const noexcept;
 
 private:
     void exchange();
     void notify();
+    void refresh_components();
 
     EngineConfig config_;
     rng::Rng rng_;
@@ -134,6 +162,12 @@ private:
     std::vector<Observer*> observers_;
     std::vector<std::uint8_t> root_informed_;  ///< scratch, size k
     std::vector<std::uint8_t> move_mask_;      ///< scratch for frog mobility
+    std::vector<std::int32_t> labels_;         ///< scratch: component labels
+    bool stale_{false};  ///< index + component pass deferred (post-completion)
+    bool timing_{false};
+    double walk_seconds_{0.0};
+    double rebuild_seconds_{0.0};
+    double exchange_seconds_{0.0};
 };
 
 }  // namespace smn::core

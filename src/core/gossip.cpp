@@ -28,6 +28,7 @@ GossipProcess::GossipProcess(const EngineConfig& config)
 
 void GossipProcess::step() {
     ++t_;
+    builder_.begin_step();
     agents_.step_all(rng_, [this](walk::AgentId a, grid::Point from, grid::Point to) {
         builder_.on_move(a, from, to);
     });
@@ -47,25 +48,27 @@ void GossipProcess::exchange() {
     const auto k = config_.k;
     const auto words = rumors_.words_per_agent();
 
+    // One find pass: both OR/distribute passes then index by plain labels.
+    graph::component_labels(dsu_, labels_);
+
     // Pass 1: OR the rumor sets of each component into its root's slot.
     touched_roots_.clear();
     for (std::int32_t a = 0; a < k; ++a) {
-        const auto root = dsu_.find(a);
+        const auto root = labels_[static_cast<std::size_t>(a)];
         auto* acc = &component_or_[static_cast<std::size_t>(root) * words];
         if (root == a) touched_roots_.push_back(root);  // every set has its root as a member
         for (std::size_t w = 0; w < words; ++w) acc[w] |= rumors_.word(a, w);
     }
 
     // Pass 2: distribute the union back to every member and account for
-    // newly learned rumors.
+    // newly learned rumors (merge_word keeps the per-agent knowledge
+    // counters — and thus MultiRumorState::complete() — up to date).
     for (std::int32_t a = 0; a < k; ++a) {
-        const auto root = dsu_.find(a);
+        const auto root = labels_[static_cast<std::size_t>(a)];
         const auto* acc = &component_or_[static_cast<std::size_t>(root) * words];
         for (std::size_t w = 0; w < words; ++w) {
-            auto& mine = rumors_.word(a, w);
-            std::uint64_t gained = acc[w] & ~mine;
+            std::uint64_t gained = rumors_.merge_word(a, w, acc[w]);
             if (gained == 0) continue;
-            mine = acc[w];
             known_pairs_ += std::popcount(gained);
             while (gained != 0) {
                 const int bit = std::countr_zero(gained);

@@ -78,6 +78,7 @@ private:
     std::vector<std::int64_t> rumor_complete_time_;   ///< per rumor: completion time
     std::vector<std::uint64_t> component_or_;          ///< scratch: per-root OR accumulator
     std::vector<std::int32_t> touched_roots_;          ///< scratch
+    std::vector<std::int32_t> labels_;                 ///< scratch: component labels
 };
 
 /// Result of one gossip replication.

@@ -74,7 +74,11 @@ private:
 };
 
 /// Knowledge state for m distinct rumors over k agents (gossip).
-/// Stored as one m-bit bitset per agent in 64-bit words.
+/// Stored as one m-bit bitset per agent in 64-bit words. Mutation goes
+/// through merge_word(), which keeps per-agent knowledge counts and a
+/// done-agent counter incrementally up to date, so knowledge_count() and
+/// the gossip termination check complete() are O(1) instead of rescanning
+/// k · words_per_agent bits.
 class MultiRumorState {
 public:
     /// Agent `a` starts knowing exactly rumor `a` when m == k and
@@ -84,11 +88,19 @@ public:
         : agent_count_{agent_count},
           rumor_count_{static_cast<std::int32_t>(owners.size())},
           words_per_agent_{(static_cast<std::size_t>(owners.size()) + 63) / 64},
-          bits_(static_cast<std::size_t>(agent_count) * words_per_agent_, 0) {
+          bits_(static_cast<std::size_t>(agent_count) * words_per_agent_, 0),
+          known_count_(static_cast<std::size_t>(agent_count), 0) {
         assert(agent_count >= 1);
         for (std::size_t r = 0; r < owners.size(); ++r) {
             assert(owners[r] >= 0 && owners[r] < agent_count);
-            word(owners[r], r / 64) |= std::uint64_t{1} << (r % 64);
+            mutable_word(owners[r], r / 64) |= std::uint64_t{1} << (r % 64);
+        }
+        for (std::int32_t a = 0; a < agent_count_; ++a) {
+            auto& count = known_count_[static_cast<std::size_t>(a)];
+            for (std::size_t w = 0; w < words_per_agent_; ++w) {
+                count += static_cast<std::int32_t>(__builtin_popcountll(word(a, w)));
+            }
+            if (count == rumor_count_) ++done_agents_;
         }
     }
 
@@ -110,42 +122,53 @@ public:
                1;
     }
 
-    /// Number of rumors agent `a` knows.
+    /// Number of rumors agent `a` knows; O(1) (incremental counter).
     [[nodiscard]] std::int32_t knowledge_count(std::int32_t a) const noexcept {
-        std::int32_t total = 0;
-        for (std::size_t w = 0; w < words_per_agent_; ++w) {
-            total += static_cast<std::int32_t>(__builtin_popcountll(word(a, w)));
-        }
-        return total;
+        return known_count_[static_cast<std::size_t>(a)];
     }
 
-    /// True when agent `a` knows every rumor.
+    /// True when agent `a` knows every rumor; O(1).
     [[nodiscard]] bool knows_all(std::int32_t a) const noexcept {
         return knowledge_count(a) == rumor_count_;
     }
 
-    /// True when every agent knows every rumor (the gossip termination
-    /// condition: T_G).
-    [[nodiscard]] bool complete() const noexcept {
-        for (std::int32_t a = 0; a < agent_count_; ++a) {
-            if (!knows_all(a)) return false;
-        }
-        return true;
-    }
+    /// Number of agents that know every rumor; O(1).
+    [[nodiscard]] std::int32_t done_agents() const noexcept { return done_agents_; }
 
-    /// Mutable word access for the exchange kernel.
-    [[nodiscard]] std::uint64_t& word(std::int32_t a, std::size_t w) noexcept {
-        return bits_[static_cast<std::size_t>(a) * words_per_agent_ + w];
-    }
+    /// True when every agent knows every rumor (the gossip termination
+    /// condition: T_G); O(1) via the incremental done-agent counter.
+    [[nodiscard]] bool complete() const noexcept { return done_agents_ == agent_count_; }
+
     [[nodiscard]] const std::uint64_t& word(std::int32_t a, std::size_t w) const noexcept {
         return bits_[static_cast<std::size_t>(a) * words_per_agent_ + w];
     }
 
+    /// ORs `incoming` into word `w` of agent `a`'s bitset, maintaining the
+    /// knowledge counters, and returns the newly gained bits. This is the
+    /// only mutation path, which is what keeps complete() O(1).
+    std::uint64_t merge_word(std::int32_t a, std::size_t w, std::uint64_t incoming) noexcept {
+        auto& mine = mutable_word(a, w);
+        const std::uint64_t gained = incoming & ~mine;
+        if (gained != 0) {
+            mine |= incoming;
+            auto& count = known_count_[static_cast<std::size_t>(a)];
+            count += static_cast<std::int32_t>(__builtin_popcountll(gained));
+            if (count == rumor_count_) ++done_agents_;
+        }
+        return gained;
+    }
+
 private:
+    [[nodiscard]] std::uint64_t& mutable_word(std::int32_t a, std::size_t w) noexcept {
+        return bits_[static_cast<std::size_t>(a) * words_per_agent_ + w];
+    }
+
     std::int32_t agent_count_;
     std::int32_t rumor_count_;
     std::size_t words_per_agent_;
     std::vector<std::uint64_t> bits_;
+    std::vector<std::int32_t> known_count_;  ///< agent -> #rumors known
+    std::int32_t done_agents_{0};            ///< #agents knowing every rumor
 };
 
 }  // namespace smn::core

@@ -74,6 +74,12 @@ PointResult run_point(const Scenario& scenario, const ParamValues& values,
 
     for (const auto& metrics : rep_metrics) {
         for (const auto& [name, value] : metrics) {
+            if (name.starts_with("timing.")) {
+                // Reserved prefix: host-dependent phase seconds — keep out
+                // of the deterministic metric block (see PointResult).
+                result.phase_seconds[name.substr(7)] += value;
+                continue;
+            }
             result.metrics[name].add(value);
             if (name == "steps") meter.add_steps(value);
         }

@@ -45,6 +45,12 @@ struct PointResult {
     double steps{0.0};                          ///< meter: total "steps"
     double steps_per_second{0.0};               ///< meter: throughput
 
+    /// Phase wall-clock attribution, summed across replications. Fed by
+    /// metrics whose name carries the reserved "timing." prefix — those
+    /// are host-dependent, so the runner diverts them here (emitted only
+    /// under --timings) instead of the deterministic metrics block.
+    std::map<std::string, double> phase_seconds;
+
     /// Sample for `name`; throws std::out_of_range when no replication
     /// reported it.
     [[nodiscard]] const stats::Sample& metric(const std::string& name) const;

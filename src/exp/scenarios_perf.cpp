@@ -53,6 +53,7 @@ SMN_REGISTER_SCENARIO(
                     throw std::invalid_argument("step_throughput: steps must be >= 1");
                 }
                 core::BroadcastProcess process{cfg};
+                process.set_phase_timing(true);
                 for (std::int64_t s = 0; s < steps; ++s) process.step();
                 Metrics m;
                 m["steps"] = static_cast<double>(steps);
@@ -60,6 +61,15 @@ SMN_REGISTER_SCENARIO(
                 m["informed_fraction"] = static_cast<double>(process.rumor().informed_count()) /
                                          static_cast<double>(cfg.k);
                 m["radius"] = static_cast<double>(cfg.radius);
+                // Reserved "timing." prefix: the runner diverts these into
+                // the (host-dependent, --timings-only) phase breakdown so
+                // perf PRs can attribute wins to walk / index / components
+                // / exchange.
+                const auto phases = process.phase_timings();
+                m["timing.walk_s"] = phases.walk_s;
+                m["timing.index_s"] = phases.index_s;
+                m["timing.components_s"] = phases.components_s;
+                m["timing.exchange_s"] = phases.exchange_s;
                 return m;
             },
     });

@@ -83,6 +83,22 @@ void JsonlWriter::write(const PointResult& result) {
         line += ",\"timing\":{\"wall_s\":" + json_number(result.wall_seconds);
         line += ",\"steps\":" + json_number(result.steps);
         line += ",\"steps_per_s\":" + json_number(result.steps_per_second);
+        if (!result.phase_seconds.empty()) {
+            double total = 0.0;
+            for (const auto& [name, seconds] : result.phase_seconds) total += seconds;
+            line += ",\"phases\":{";
+            bool first_phase = true;
+            for (const auto& [name, seconds] : result.phase_seconds) {
+                if (!first_phase) line += ',';
+                first_phase = false;
+                line += '"' + json_escape(name) + "\":" + json_number(seconds);
+            }
+            for (const auto& [name, seconds] : result.phase_seconds) {
+                line += ",\"" + json_escape(name + "_frac") +
+                        "\":" + json_number(total > 0.0 ? seconds / total : 0.0);
+            }
+            line += '}';
+        }
         line += '}';
     }
     line += "}\n";

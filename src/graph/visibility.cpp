@@ -1,8 +1,38 @@
 #include "graph/visibility.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <chrono>
 
 namespace smn::graph {
+namespace {
+
+/// Coordinate-wise in-range test (metric resolved at compile time), the
+/// hot predicate of the pair scan. L1/L∞ stay in 32-bit arithmetic
+/// (coords are int32, so |dx|+|dy| < 2^32 cannot overflow a signed 64-bit
+/// add of two int32 — and fits int32 since coords are grid-bounded);
+/// squared Euclidean promotes to 64-bit.
+template <grid::Metric M>
+[[nodiscard]] inline bool within_coords(grid::Coord ax, grid::Coord ay, grid::Coord bx,
+                                        grid::Coord by, std::int64_t radius) noexcept {
+    if constexpr (M == grid::Metric::kEuclidean) {
+        const std::int64_t dx = std::int64_t{ax} - bx;
+        const std::int64_t dy = std::int64_t{ay} - by;
+        return dx * dx + dy * dy <= radius * radius;
+    } else {
+        const std::int32_t dx = ax - bx;
+        const std::int32_t dy = ay - by;
+        const std::int32_t adx = dx < 0 ? -dx : dx;
+        const std::int32_t ady = dy < 0 ? -dy : dy;
+        if constexpr (M == grid::Metric::kManhattan) {
+            return std::int64_t{adx} + ady <= radius;
+        } else {
+            return std::int64_t{adx > ady ? adx : ady} <= radius;
+        }
+    }
+}
+
+}  // namespace
 
 VisibilityGraphBuilder::VisibilityGraphBuilder(const grid::Grid2D& grid, std::int64_t radius,
                                                grid::Metric metric)
@@ -10,7 +40,41 @@ VisibilityGraphBuilder::VisibilityGraphBuilder(const grid::Grid2D& grid, std::in
       radius_{radius},
       metric_{metric},
       occupancy_{grid},
-      buckets_{spatial::BucketIndex::for_radius(grid, radius)} {}
+      buckets_{spatial::BucketIndex::for_radius(grid, radius)},
+      threads_{util::step_threads()} {
+    if (radius_ >= 1) {
+        // Forward half-neighborhood for this radius/bucket-side pair: with
+        // the for_radius sizing the reach is 1 (E, SW, S, SE), but any
+        // reach is supported.
+        const auto side = buckets_.bucket_side();
+        reach_ = static_cast<grid::Coord>((radius_ + side - 1) / side);
+        const auto reach = reach_;
+        for (grid::Coord dx = 1; dx <= reach; ++dx) scan_fwd_.emplace_back(dx, 0);
+        for (grid::Coord dy = 1; dy <= reach; ++dy) {
+            for (grid::Coord dx = -reach; dx <= reach; ++dx) scan_fwd_.emplace_back(dx, dy);
+        }
+        for (const auto& [dx, dy] : scan_fwd_) taint_back_.emplace_back(-dx, -dy);
+
+        const auto bx_count = buckets_.buckets_x();
+        const auto by_count = buckets_.buckets_y();
+        const auto bucket_count = static_cast<std::size_t>(std::int64_t{bx_count} * by_count);
+        edge_flags_.resize(bucket_count);
+        std::size_t b = 0;
+        for (grid::Coord by = 0; by < by_count; ++by) {
+            for (grid::Coord bx = 0; bx < bx_count; ++bx, ++b) {
+                edge_flags_[b] = static_cast<std::uint8_t>((bx > 0 ? 1u : 0u) |
+                                                           (bx + 1 < bx_count ? 2u : 0u) |
+                                                           (by + 1 < by_count ? 4u : 0u));
+            }
+        }
+        entry_off_[0].assign(bucket_count, 0);
+        entry_off_[1].assign(bucket_count, 0);
+        entry_len_[0].assign(bucket_count, 0);
+        entry_len_[1].assign(bucket_count, 0);
+        entry_stamp_.assign(bucket_count, 0);
+        taint_stamp_.assign(bucket_count, 0);
+    }
+}
 
 void VisibilityGraphBuilder::build(std::span<const grid::Point> positions, DisjointSets& dsu) {
     dsu.reset(positions.size());
@@ -26,7 +90,7 @@ void VisibilityGraphBuilder::build(std::span<const grid::Point> positions, Disjo
         return;
     }
     buckets_.rebuild(positions);
-    unite_pairs(dsu);
+    component_pass(positions, dsu, /*force_rescan=*/true);
 }
 
 void VisibilityGraphBuilder::rebuild_components(std::span<const grid::Point> positions,
@@ -36,14 +100,471 @@ void VisibilityGraphBuilder::rebuild_components(std::span<const grid::Point> pos
         return;
     }
     dsu.reset(positions.size());
-    unite_pairs(dsu);
+    component_pass(positions, dsu, /*force_rescan=*/false);
 }
 
-void VisibilityGraphBuilder::unite_pairs(DisjointSets& dsu) {
-    // Half-neighborhood enumeration: each unordered in-range pair exactly
-    // once, straight into the union-find.
-    buckets_.for_each_pair_within(radius_, metric_,
-                                  [&](std::int32_t a, std::int32_t b) { dsu.unite(a, b); });
+void VisibilityGraphBuilder::component_pass(std::span<const grid::Point> positions,
+                                            DisjointSets& dsu, bool force_rescan) {
+    ++seq_;
+    using clock = std::chrono::steady_clock;
+    const auto prep_begin = timing_ ? clock::now() : clock::time_point{};
+    // Bypass heuristic: once half the occupied buckets are dirty, taint
+    // expansion makes nearly every footprint dirty anyway, so cache
+    // maintenance can only cost. Build()s force a cached pass so the very
+    // next step can already replay. The predicate reads only the
+    // deterministic dirty set — identical at any thread count.
+    const bool bypass = !force_rescan &&
+                        buckets_.dirty_buckets().size() * 2 >= buckets_.occupied_bucket_count();
+    if (!bypass && !force_rescan) expand_taint();
+    const bool sharded = threads_ > 1 && buckets_.occupied_bucket_count() > 1;
+    if (sharded) enumerate_units();  // shards need the unit list upfront
+    if (timing_) {
+        prep_seconds_ += std::chrono::duration<double>(clock::now() - prep_begin).count();
+    }
+    const bool dense = buckets_.occupied_bucket_count() * 2 >= entry_stamp_.size();
+    const auto dispatch = [&]<grid::Metric M>() {
+        if (sharded) {
+            bypass ? sharded_pass<M, true>(positions, dsu, force_rescan)
+                   : sharded_pass<M, false>(positions, dsu, force_rescan);
+        } else if (dense && reach_ == 1) {
+            bypass ? row_window_pass<M, true>(positions, dsu, force_rescan)
+                   : row_window_pass<M, false>(positions, dsu, force_rescan);
+        } else {
+            bypass ? serial_pass<M, true>(positions, dsu, force_rescan)
+                   : serial_pass<M, false>(positions, dsu, force_rescan);
+        }
+    };
+    switch (metric_) {
+        case grid::Metric::kManhattan:
+            dispatch.template operator()<grid::Metric::kManhattan>();
+            break;
+        case grid::Metric::kChebyshev:
+            dispatch.template operator()<grid::Metric::kChebyshev>();
+            break;
+        case grid::Metric::kEuclidean:
+            dispatch.template operator()<grid::Metric::kEuclidean>();
+            break;
+    }
+    buckets_.end_step();  // the dirty epoch is consumed
+}
+
+/// Expands the dirty bucket set into taint stamps: a dirty bucket
+/// invalidates its own scan unit plus the units whose forward footprint
+/// contains it (its backward neighbors).
+void VisibilityGraphBuilder::expand_taint() {
+    const auto bx_count = buckets_.buckets_x();
+    const auto by_count = buckets_.buckets_y();
+    for (const auto d : buckets_.dirty_buckets()) {
+        const auto dx0 = static_cast<grid::Coord>(d % bx_count);
+        const auto dy0 = static_cast<grid::Coord>(d / bx_count);
+        taint_stamp_[static_cast<std::size_t>(d)] = seq_;
+        for (const auto& [dx, dy] : taint_back_) {
+            const auto nx = dx0 + dx;
+            const auto ny = dy0 + dy;
+            if (nx < 0 || nx >= bx_count || ny < 0 || ny >= by_count) continue;
+            taint_stamp_[static_cast<std::size_t>(std::int64_t{ny} * bx_count + nx)] = seq_;
+        }
+    }
+}
+
+/// Fills units_ with the occupied buckets in row-major order: a full sweep
+/// in the dense regime (no sort), a sort of the occupied list when buckets
+/// far outnumber agents.
+void VisibilityGraphBuilder::enumerate_units() {
+    const auto bucket_count = entry_stamp_.size();
+    const auto occupied = buckets_.occupied_buckets();
+    units_.clear();
+    if (occupied.size() * 2 >= bucket_count) {
+        for (std::int64_t b = 0; b < static_cast<std::int64_t>(bucket_count); ++b) {
+            if (buckets_.bucket_occupied(b)) units_.push_back(b);
+        }
+    } else {
+        units_.assign(occupied.begin(), occupied.end());
+        std::sort(units_.begin(), units_.end());
+    }
+}
+
+void VisibilityGraphBuilder::prepare_scratch(std::size_t k, int count, bool mini) {
+    if (static_cast<int>(scratch_.size()) < count) {
+        scratch_.resize(static_cast<std::size_t>(count));
+    }
+    if (!mini) return;
+    for (int w = 0; w < count; ++w) {
+        scratch_[static_cast<std::size_t>(w)].parent.resize(k);
+        scratch_[static_cast<std::size_t>(w)].stamp.resize(k, 0);
+    }
+}
+
+/// The shared pair sink: with kFilter, deduplicate through the unit-local
+/// mini-DSU and keep only spanning survivors; route what remains to the
+/// edge buffer (`out`) and/or the shared DSU — whichever the calling pass
+/// wired up.
+template <bool kFilter>
+void VisibilityGraphBuilder::record_pair(ScanScratch& scratch, std::int32_t a, std::int32_t b,
+                                         std::vector<CachedEdge>* out, DisjointSets* dsu) {
+    if constexpr (kFilter) {
+        const auto ra = mini_find(scratch, a);
+        const auto rb = mini_find(scratch, b);
+        if (ra == rb) return;
+        scratch.parent[static_cast<std::size_t>(rb)] = ra;
+    }
+    if (out != nullptr) out->push_back(CachedEdge{a, b});
+    if (dsu != nullptr) dsu->unite(a, b);
+}
+
+/// Commits `count` edges as bucket `bucket`'s cache entry in the current
+/// arena and unions them into `dsu` — the shared tail of every replay and
+/// of the sharded merge.
+void VisibilityGraphBuilder::commit_entry(std::size_t bucket, const CachedEdge* edges,
+                                          std::size_t count, DisjointSets& dsu) {
+    const auto cur = static_cast<std::size_t>(seq_ & 1);
+    auto& arena = arena_[cur];
+    entry_off_[cur][bucket] = static_cast<std::int32_t>(arena.size());
+    entry_len_[cur][bucket] = static_cast<std::int32_t>(count);
+    entry_stamp_[bucket] = seq_;
+    arena.insert(arena.end(), edges, edges + count);
+    for (std::size_t e = 0; e < count; ++e) dsu.unite(edges[e].a, edges[e].b);
+}
+
+std::int32_t VisibilityGraphBuilder::mini_find(ScanScratch& scratch,
+                                               std::int32_t x) const noexcept {
+    auto xi = static_cast<std::size_t>(x);
+    if (scratch.stamp[xi] != scratch.epoch) {
+        scratch.stamp[xi] = scratch.epoch;
+        scratch.parent[xi] = x;
+        return x;
+    }
+    // Path halving; every node on the path was stamped when first linked.
+    while (scratch.parent[xi] != x) {
+        auto& p = scratch.parent[xi];
+        p = scratch.parent[static_cast<std::size_t>(p)];
+        x = p;
+        xi = static_cast<std::size_t>(x);
+    }
+    return x;
+}
+
+/// Enumerates the scan unit of `bucket`: gathers the bucket's members into
+/// the scratch slice, then pairs it with itself and its forward
+/// half-neighborhood (walking the neighbors' intrusive lists directly —
+/// at percolation-scale occupancy a list is 1–2 nodes, cheaper than any
+/// per-step re-materialization). With kFilter, in-range pairs go through
+/// the unit-local mini-DSU and only survivors reach `out` / `dsu` (the
+/// cached path); without it every in-range pair does (the bypass path).
+/// `out` is null on the serial bypass path, `dsu` on the sharded paths
+/// (workers cannot touch the shared DSU).
+template <grid::Metric M, bool kFilter>
+void VisibilityGraphBuilder::scan_unit(std::int64_t bucket,
+                                       std::span<const grid::Point> positions,
+                                       ScanScratch& scratch, std::vector<CachedEdge>* out,
+                                       DisjointSets* dsu) {
+    if constexpr (kFilter) ++scratch.epoch;
+    scratch.ids.clear();
+    scratch.xs.clear();
+    scratch.ys.clear();
+    buckets_.for_each_in_bucket(bucket, [&](std::int32_t a) {
+        const auto p = positions[static_cast<std::size_t>(a)];
+        scratch.ids.push_back(a);
+        scratch.xs.push_back(p.x);
+        scratch.ys.push_back(p.y);
+    });
+    const auto len = scratch.ids.size();
+
+    const auto found = [&](std::int32_t a, std::int32_t b) {
+        record_pair<kFilter>(scratch, a, b, out, dsu);
+    };
+
+    // Self pairs.
+    for (std::size_t i = 0; i + 1 < len; ++i) {
+        const auto xi = scratch.xs[i];
+        const auto yi = scratch.ys[i];
+        for (std::size_t j = i + 1; j < len; ++j) {
+            if (within_coords<M>(xi, yi, scratch.xs[j], scratch.ys[j], radius_)) {
+                found(scratch.ids[i], scratch.ids[j]);
+            }
+        }
+    }
+
+    /// Pairs the gathered slice against one forward neighbor's list.
+    const auto cross = [&](std::int64_t nb) {
+        buckets_.for_each_in_bucket(nb, [&](std::int32_t b) {
+            const auto p = positions[static_cast<std::size_t>(b)];
+            for (std::size_t i = 0; i < len; ++i) {
+                if (within_coords<M>(scratch.xs[i], scratch.ys[i], p.x, p.y, radius_)) {
+                    found(scratch.ids[i], b);
+                }
+            }
+        });
+    };
+
+    if (reach_ == 1) {
+        // Unrolled E / SW / S / SE — the for_radius sizing's only shape;
+        // neighbor existence is static geometry (edge_flags_).
+        const auto flags = edge_flags_[static_cast<std::size_t>(bucket)];
+        if (flags & 2u) cross(bucket + 1);
+        if (flags & 4u) {
+            const auto south = bucket + buckets_.buckets_x();
+            if (flags & 1u) cross(south - 1);
+            cross(south);
+            if (flags & 2u) cross(south + 1);
+        }
+        return;
+    }
+    const auto bx_count = buckets_.buckets_x();
+    const auto by_count = buckets_.buckets_y();
+    const auto bx = static_cast<grid::Coord>(bucket % bx_count);
+    const auto by = static_cast<grid::Coord>(bucket / bx_count);
+    for (const auto& [dx, dy] : scan_fwd_) {
+        const auto nx = bx + dx;
+        const auto ny = by + dy;
+        if (nx < 0 || nx >= bx_count || ny >= by_count) continue;
+        cross(std::int64_t{ny} * bx_count + nx);
+    }
+}
+
+/// The serial pass: walk the units in row-major order; replay clean units
+/// from the previous arena and rescan dirty ones (leaving fresh entries),
+/// or — with kBypass — rescan everything straight into the DSU with no
+/// cache interaction at all. Entry stamps going stale under bypass is what
+/// makes the next cached pass rescan everything once.
+template <grid::Metric M, bool kBypass>
+void VisibilityGraphBuilder::serial_pass(std::span<const grid::Point> positions,
+                                         DisjointSets& dsu, bool force_rescan) {
+    prepare_scratch(positions.size(), 1, !kBypass);
+    auto& scratch = scratch_[0];
+    if constexpr (!kBypass) arena_[seq_ & 1].clear();
+
+    const auto process = [&](std::int64_t b) {
+        if constexpr (kBypass) {
+            ++rescanned_units_;
+            scan_unit<M, false>(b, positions, scratch, nullptr, &dsu);
+            return;
+        }
+        replay_or_rescan(b, force_rescan, dsu, [&](std::vector<CachedEdge>& arena_out) {
+            scan_unit<M, true>(b, positions, scratch, &arena_out, &dsu);
+        });
+    };
+
+    enumerate_units();
+    for (const auto b : units_) process(b);
+}
+
+/// Gathers one bucket row into `buf`: per-bucket slices in list order,
+/// each agent's position read from the random-access storage exactly once.
+void VisibilityGraphBuilder::gather_row(grid::Coord row, std::span<const grid::Point> positions,
+                                        RowBuffer& buf) {
+    const auto bx_count = buckets_.buckets_x();
+    buf.off.resize(static_cast<std::size_t>(bx_count) + 1);
+    // Sized once for the worst case (every agent in one row); the writes
+    // below are then unchecked index stores instead of push_backs.
+    if (buf.ids.size() < positions.size()) {
+        buf.ids.resize(positions.size());
+        buf.xs.resize(positions.size());
+        buf.ys.resize(positions.size());
+    }
+    const auto base = std::int64_t{row} * bx_count;
+    std::int32_t n = 0;
+    for (grid::Coord bx = 0; bx < bx_count; ++bx) {
+        buf.off[static_cast<std::size_t>(bx)] = n;
+        buckets_.for_each_in_bucket(base + bx, [&](std::int32_t a) {
+            const auto p = positions[static_cast<std::size_t>(a)];
+            const auto slot = static_cast<std::size_t>(n++);
+            buf.ids[slot] = a;
+            buf.xs[slot] = p.x;
+            buf.ys[slot] = p.y;
+        });
+    }
+    buf.off[static_cast<std::size_t>(bx_count)] = n;
+}
+
+/// scan_unit over the rolling window: identical pair enumeration order,
+/// but every slice read is L1-resident. `south_row` is null on the last
+/// bucket row.
+template <grid::Metric M, bool kFilter>
+void VisibilityGraphBuilder::scan_unit_window(const RowBuffer& self_row,
+                                              const RowBuffer* south_row, grid::Coord bx,
+                                              ScanScratch& scratch,
+                                              std::vector<CachedEdge>* out, DisjointSets* dsu) {
+    if constexpr (kFilter) ++scratch.epoch;
+    const auto bx_count = buckets_.buckets_x();
+    const auto off = static_cast<std::size_t>(self_row.off[static_cast<std::size_t>(bx)]);
+    const auto end = static_cast<std::size_t>(self_row.off[static_cast<std::size_t>(bx) + 1]);
+
+    const auto found = [&](std::int32_t a, std::int32_t b) {
+        record_pair<kFilter>(scratch, a, b, out, dsu);
+    };
+
+    // Self pairs.
+    for (std::size_t i = off; i + 1 < end; ++i) {
+        const auto xi = self_row.xs[i];
+        const auto yi = self_row.ys[i];
+        for (std::size_t j = i + 1; j < end; ++j) {
+            if (within_coords<M>(xi, yi, self_row.xs[j], self_row.ys[j], radius_)) {
+                found(self_row.ids[i], self_row.ids[j]);
+            }
+        }
+    }
+
+    /// Pairs the unit's slice against a contiguous range of a row buffer,
+    /// neighbor-member outer — row buffers are bucket-ordered, so the
+    /// merged SW|S|SE range enumerates members in exactly the order the
+    /// per-bucket cross calls of scan_unit do (thread invariance depends
+    /// on this).
+    const auto cross_range = [&](const RowBuffer& row, std::size_t noff, std::size_t nend) {
+        if (end - off == 1) {
+            // Single-occupant unit (the most common bucket at percolation
+            // occupancy): hoist the self coords; enumeration order over j
+            // is unchanged.
+            const auto xi = self_row.xs[off];
+            const auto yi = self_row.ys[off];
+            const auto id = self_row.ids[off];
+            for (std::size_t j = noff; j < nend; ++j) {
+                if (within_coords<M>(xi, yi, row.xs[j], row.ys[j], radius_)) {
+                    found(id, row.ids[j]);
+                }
+            }
+            return;
+        }
+        for (std::size_t j = noff; j < nend; ++j) {
+            const auto xj = row.xs[j];
+            const auto yj = row.ys[j];
+            for (std::size_t i = off; i < end; ++i) {
+                if (within_coords<M>(self_row.xs[i], self_row.ys[i], xj, yj, radius_)) {
+                    found(self_row.ids[i], row.ids[j]);
+                }
+            }
+        }
+    };
+
+    if (bx + 1 < bx_count) {  // E
+        cross_range(self_row,
+                    static_cast<std::size_t>(self_row.off[static_cast<std::size_t>(bx) + 1]),
+                    static_cast<std::size_t>(self_row.off[static_cast<std::size_t>(bx) + 2]));
+    }
+    if (south_row != nullptr) {  // SW | S | SE as one contiguous range
+        const auto lo = static_cast<std::size_t>(bx > 0 ? bx - 1 : 0);
+        const auto hi = static_cast<std::size_t>(bx + 1 < bx_count ? bx + 2 : bx + 1);
+        cross_range(*south_row, static_cast<std::size_t>(south_row->off[lo]),
+                    static_cast<std::size_t>(south_row->off[hi]));
+    }
+}
+
+/// The dense serial pass as a rolling two-row window: row R+1 is gathered
+/// while row R's units are scanned, so the whole reach-1 footprint of
+/// every unit lives in two compact row buffers.
+template <grid::Metric M, bool kBypass>
+void VisibilityGraphBuilder::row_window_pass(std::span<const grid::Point> positions,
+                                             DisjointSets& dsu, bool force_rescan) {
+    prepare_scratch(positions.size(), 1, !kBypass);
+    auto& scratch = scratch_[0];
+    if constexpr (!kBypass) arena_[seq_ & 1].clear();
+
+    const auto bx_count = buckets_.buckets_x();
+    const auto by_count = buckets_.buckets_y();
+    gather_row(0, positions, rows_[0]);
+    for (grid::Coord row = 0; row < by_count; ++row) {
+        auto& self_row = rows_[static_cast<std::size_t>(row & 1)];
+        RowBuffer* south_row = nullptr;
+        if (row + 1 < by_count) {
+            south_row = &rows_[static_cast<std::size_t>((row + 1) & 1)];
+            gather_row(row + 1, positions, *south_row);
+        }
+        const auto base = std::int64_t{row} * bx_count;
+        for (grid::Coord bx = 0; bx < bx_count; ++bx) {
+            if (self_row.off[static_cast<std::size_t>(bx)] ==
+                self_row.off[static_cast<std::size_t>(bx) + 1]) {
+                continue;  // empty bucket — not a unit
+            }
+            const auto b = base + bx;
+            if constexpr (kBypass) {
+                ++rescanned_units_;
+                scan_unit_window<M, false>(self_row, south_row, bx, scratch, nullptr, &dsu);
+                continue;
+            }
+            replay_or_rescan(b, force_rescan, dsu, [&](std::vector<CachedEdge>& arena_out) {
+                scan_unit_window<M, true>(self_row, south_row, bx, scratch, &arena_out, &dsu);
+            });
+        }
+    }
+}
+
+/// The sharded pass: units_ is partitioned into contiguous row-major
+/// ranges; workers enumerate pairs into per-shard buffers (replaying units
+/// are just marked), then a single merge walks the shards in order
+/// committing entries and unions — the union sequence, and so the DSU
+/// state, matches the serial path exactly.
+template <grid::Metric M, bool kBypass>
+void VisibilityGraphBuilder::sharded_pass(std::span<const grid::Point> positions,
+                                          DisjointSets& dsu, bool force_rescan) {
+    prepare_scratch(positions.size(), threads_, !kBypass);
+    const auto cur = static_cast<std::size_t>(seq_ & 1);
+    const auto prev = cur ^ 1;
+    auto& arena = arena_[cur];
+    if constexpr (!kBypass) arena.clear();
+
+    // Contiguous ranges of roughly equal unit count; work stealing evens
+    // out occupancy imbalance across ~4 shards per worker.
+    const auto unit_count = static_cast<std::int32_t>(units_.size());
+    const auto per_shard =
+        std::max<std::int32_t>(1, unit_count / static_cast<std::int32_t>(threads_ * 4));
+    shards_.clear();
+    for (std::int32_t begin = 0; begin < unit_count; begin += per_shard) {
+        shards_.emplace_back(begin, std::min(unit_count, begin + per_shard));
+    }
+    const auto shard_count = static_cast<int>(shards_.size());
+    if (static_cast<int>(shard_out_.size()) < shard_count) {
+        shard_out_.resize(static_cast<std::size_t>(shard_count));
+    }
+    if (pool_ == nullptr) pool_ = std::make_unique<util::WorkerPool>(threads_);
+
+    pool_->run(shard_count, [&](int s, int worker) {
+        auto& out = shard_out_[static_cast<std::size_t>(s)];
+        out.edges.clear();
+        out.counts.clear();
+        auto& scratch = scratch_[static_cast<std::size_t>(worker)];
+        const auto [lo, hi] = shards_[static_cast<std::size_t>(s)];
+        for (std::int32_t i = lo; i < hi; ++i) {
+            const auto b = units_[static_cast<std::size_t>(i)];
+            if constexpr (kBypass) {
+                scan_unit<M, false>(b, positions, scratch, &out.edges, nullptr);
+            } else if (replayable(b, force_rescan)) {
+                out.counts.push_back(-1);
+            } else {
+                const auto start = out.edges.size();
+                scan_unit<M, true>(b, positions, scratch, &out.edges, nullptr);
+                out.counts.push_back(static_cast<std::int32_t>(out.edges.size() - start));
+            }
+        }
+    });
+
+    if constexpr (kBypass) {
+        rescanned_units_ += unit_count;
+        for (int s = 0; s < shard_count; ++s) {
+            for (const auto& e : shard_out_[static_cast<std::size_t>(s)].edges) {
+                dsu.unite(e.a, e.b);
+            }
+        }
+        return;
+    }
+    for (int s = 0; s < shard_count; ++s) {
+        const auto& out = shard_out_[static_cast<std::size_t>(s)];
+        const auto [lo, hi] = shards_[static_cast<std::size_t>(s)];
+        std::size_t pos = 0;
+        for (std::int32_t i = lo; i < hi; ++i) {
+            const auto b = units_[static_cast<std::size_t>(i)];
+            const auto bi = static_cast<std::size_t>(b);
+            const auto count = out.counts[static_cast<std::size_t>(i - lo)];
+            if (count < 0) {
+                ++replayed_units_;
+                commit_entry(bi, arena_[prev].data() + entry_off_[prev][bi],
+                             static_cast<std::size_t>(entry_len_[prev][bi]), dsu);
+            } else {
+                ++rescanned_units_;
+                commit_entry(bi, out.edges.data() + pos, static_cast<std::size_t>(count), dsu);
+                pos += static_cast<std::size_t>(count);
+            }
+        }
+    }
 }
 
 void VisibilityGraphBuilder::build_naive(std::span<const grid::Point> positions,

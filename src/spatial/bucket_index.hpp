@@ -16,6 +16,17 @@
 // the division fallback only runs on teleports. rebuild() remains the
 // reference path for initialization and bulk repositioning.
 //
+// Dirty-step protocol: every move() additionally stamps the source and
+// destination buckets *dirty* for the current step epoch (a within-bucket
+// node change dirties its bucket too — positions inside a bucket decide
+// edge existence). Consumers that cache per-bucket derived state (the
+// visibility graph's spanning-edge cache) read `dirty_buckets()` to know
+// exactly which neighborhoods changed since the last epoch boundary.
+// `begin_step()` opens a fresh epoch before the moves of a simulation
+// step; `end_step()` closes it after the dirty set has been consumed.
+// Both clear the set, so callers that only ever consume-then-clear (the
+// builder's rebuild path) work without an explicit begin_step().
+//
 // This is the workhorse behind visibility-graph construction: the expected
 // occupancy of a bucket at the percolation scale r ≈ √(n/k) is O(1), so
 // building G_t(r) costs O(k) expected per time step, and the incremental
@@ -49,6 +60,7 @@ public:
         const auto bucket_count = static_cast<std::size_t>(std::int64_t{buckets_x_} * buckets_y_);
         head_.assign(bucket_count, -1);
         where_.assign(bucket_count, -1);
+        dirty_stamp_.assign(bucket_count, 0);
     }
 
     /// Convenience: index sized for radius-r queries (bucket side max(r,1)).
@@ -64,6 +76,45 @@ public:
     /// Number of buckets currently holding at least one agent.
     [[nodiscard]] std::size_t occupied_bucket_count() const noexcept { return occupied_.size(); }
 
+    /// Buckets with >= 1 agent, in no particular order.
+    [[nodiscard]] std::span<const std::int64_t> occupied_buckets() const noexcept {
+        return occupied_;
+    }
+
+    /// True iff `bucket` currently holds at least one agent.
+    [[nodiscard]] bool bucket_occupied(std::int64_t bucket) const noexcept {
+        return head_[static_cast<std::size_t>(bucket)] != -1;
+    }
+
+    /// Calls `fn(agent_id)` for every agent currently linked into `bucket`.
+    template <typename Fn>
+    void for_each_in_bucket(std::int64_t bucket, Fn&& fn) const {
+        for (auto a = head_[static_cast<std::size_t>(bucket)]; a != -1;
+             a = next_[static_cast<std::size_t>(a)]) {
+            fn(a);
+        }
+    }
+
+    // ------------------------------------------------------- dirty protocol
+
+    /// Opens a fresh dirty epoch (discards any accumulated dirty marks).
+    /// Call before the moves of a simulation step.
+    void begin_step() noexcept { clear_dirty(); }
+
+    /// Closes the epoch after the dirty set has been consumed.
+    void end_step() noexcept { clear_dirty(); }
+
+    /// Buckets stamped dirty by move() since the last epoch boundary, in
+    /// first-dirtied order, each at most once.
+    [[nodiscard]] std::span<const std::int64_t> dirty_buckets() const noexcept {
+        return dirty_list_;
+    }
+
+    /// True iff `bucket` was stamped dirty in the current epoch.
+    [[nodiscard]] bool is_dirty(std::int64_t bucket) const noexcept {
+        return dirty_stamp_[static_cast<std::size_t>(bucket)] == dirty_epoch_;
+    }
+
     /// Rebuilds from current agent positions (index = agent id). The span's
     /// storage must stay alive and in place until the next rebuild: queries
     /// read positions through it, and move() keeps it authoritative.
@@ -73,6 +124,7 @@ public:
             where_[static_cast<std::size_t>(b)] = -1;
         }
         occupied_.clear();
+        clear_dirty();
         const auto k = positions.size();
         next_.assign(k, -1);
         prev_.assign(k, -1);
@@ -85,10 +137,12 @@ public:
         }
     }
 
-    /// Relocates one agent after it moved from `from` to `to`; O(1). The
-    /// caller must already have written `to` into the positions storage the
-    /// index was rebuilt over. No-op when both map to the same bucket.
-    void move(std::int32_t agent, grid::Point from, grid::Point to) noexcept {
+    /// Relocates one agent after it moved from `from` to `to`; amortized
+    /// O(1). The caller must already have written `to` into the positions
+    /// storage the index was rebuilt over. Stamps the source and
+    /// destination buckets dirty; the re-link is a no-op when both map to
+    /// the same bucket.
+    void move(std::int32_t agent, grid::Point from, grid::Point to) {
         const auto a = static_cast<std::size_t>(agent);
         assert(a < next_.size() && "BucketIndex::move before rebuild");
         assert(agent_bx_[a] == from.x / side_ && agent_by_[a] == from.y / side_ &&
@@ -100,7 +154,9 @@ public:
         // fallback for teleports spanning several buckets.
         const auto nbx = shift_bucket(bx, to.x);
         const auto nby = shift_bucket(by, to.y);
+        mark_dirty(std::int64_t{by} * buckets_x_ + bx);
         if (nbx == bx && nby == by) return;
+        mark_dirty(std::int64_t{nby} * buckets_x_ + nbx);
         // Unlink from the old bucket.
         const auto nxt = next_[a];
         const auto prv = prev_[a];
@@ -136,28 +192,6 @@ public:
                     }
                 }
             }
-        }
-    }
-
-    /// Calls `fn(a, b)` exactly once for every unordered pair of distinct
-    /// agents within distance `radius` of each other under `metric`.
-    /// Half-neighborhood enumeration: each occupied bucket is paired with
-    /// itself and its "forward" neighbors (for radius ≤ bucket_side: E,
-    /// SW, S, SE), so no pair is ever visited twice — half the work of a
-    /// symmetric per-agent scan. Wider radii extend the forward half-plane
-    /// accordingly.
-    template <typename Fn>
-    void for_each_pair_within(std::int64_t radius, grid::Metric metric, Fn&& fn) {
-        switch (metric) {
-            case grid::Metric::kManhattan:
-                pair_scan<grid::Metric::kManhattan>(radius, fn);
-                return;
-            case grid::Metric::kChebyshev:
-                pair_scan<grid::Metric::kChebyshev>(radius, fn);
-                return;
-            case grid::Metric::kEuclidean:
-                pair_scan<grid::Metric::kEuclidean>(radius, fn);
-                return;
         }
     }
 
@@ -214,6 +248,20 @@ private:
         agent_by_[a] = by;
     }
 
+    /// Stamps `bucket` dirty for the current epoch (idempotent per epoch).
+    void mark_dirty(std::int64_t bucket) {
+        auto& stamp = dirty_stamp_[static_cast<std::size_t>(bucket)];
+        if (stamp == dirty_epoch_) return;
+        stamp = dirty_epoch_;
+        dirty_list_.push_back(bucket);
+    }
+
+    /// Discards all dirty marks by opening a new epoch; O(1) amortized.
+    void clear_dirty() noexcept {
+        dirty_list_.clear();
+        ++dirty_epoch_;
+    }
+
     void drop_occupied(std::int64_t bucket) noexcept {
         const auto slot = where_[static_cast<std::size_t>(bucket)];
         const auto last = occupied_.back();
@@ -221,87 +269,6 @@ private:
         where_[static_cast<std::size_t>(last)] = slot;
         occupied_.pop_back();
         where_[static_cast<std::size_t>(bucket)] = -1;
-    }
-
-    /// Pairs a gathered bucket (gather_ids_/gather_pts_) against the list
-    /// of bucket `nb`.
-    template <grid::Metric M, typename Fn>
-    void cross_pairs(std::int64_t nb, std::int64_t radius, Fn& fn) const {
-        for (auto b = head_[static_cast<std::size_t>(nb)]; b != -1;
-             b = next_[static_cast<std::size_t>(b)]) {
-            const auto p2 = points_[static_cast<std::size_t>(b)];
-            for (std::size_t i = 0; i < gather_ids_.size(); ++i) {
-                if (grid::within(gather_pts_[i], p2, radius, M)) {
-                    fn(gather_ids_[i], b);
-                }
-            }
-        }
-    }
-
-    /// Self pairs + forward half-neighborhood of the bucket at (bx, by),
-    /// whose members have been gathered into the scratch arrays.
-    template <grid::Metric M, typename Fn>
-    void bucket_pairs(grid::Coord bx, grid::Coord by, grid::Coord reach, std::int64_t radius,
-                      Fn& fn) const {
-        const auto count = gather_ids_.size();
-        for (std::size_t i = 0; i < count; ++i) {
-            for (std::size_t j = i + 1; j < count; ++j) {
-                if (grid::within(gather_pts_[i], gather_pts_[j], radius, M)) {
-                    fn(gather_ids_[i], gather_ids_[j]);
-                }
-            }
-        }
-        // Forward offsets: (dx,dy) with dy = 0 ∧ dx > 0, or dy > 0 (any
-        // dx) — each unordered bucket pair is visited from exactly one side.
-        const auto bucket = std::int64_t{by} * buckets_x_ + bx;
-        for (grid::Coord dy = 0; dy <= reach; ++dy) {
-            const auto ny = by + dy;
-            if (ny >= buckets_y_) break;
-            const auto dx_lo = dy == 0 ? grid::Coord{1} : static_cast<grid::Coord>(-reach);
-            for (grid::Coord dx = dx_lo; dx <= reach; ++dx) {
-                const auto nx = bx + dx;
-                if (nx < 0 || nx >= buckets_x_) continue;
-                cross_pairs<M>(bucket + std::int64_t{dy} * buckets_x_ + dx, radius, fn);
-            }
-        }
-    }
-
-    template <grid::Metric M, typename Fn>
-    void pair_scan(std::int64_t radius, Fn& fn) {
-        const auto reach = static_cast<grid::Coord>((radius + side_ - 1) / side_);
-        const auto bucket_count = head_.size();
-        if (occupied_.size() * 2 >= bucket_count) {
-            // Dense regime: sweep all buckets in row-major order — head_
-            // and the forward-neighbor rows stay cache-resident, unlike a
-            // walk of the (arbitrarily ordered) occupied list.
-            for (grid::Coord by = 0; by < buckets_y_; ++by) {
-                for (grid::Coord bx = 0; bx < buckets_x_; ++bx) {
-                    if (gather(head_[bucket_slot(bx, by)])) {
-                        bucket_pairs<M>(bx, by, reach, radius, fn);
-                    }
-                }
-            }
-            return;
-        }
-        // Sparse regime: only the occupied buckets are worth visiting.
-        for (const auto b : occupied_) {
-            gather(head_[static_cast<std::size_t>(b)]);
-            bucket_pairs<M>(static_cast<grid::Coord>(b % buckets_x_),
-                            static_cast<grid::Coord>(b / buckets_x_), reach, radius, fn);
-        }
-    }
-
-    /// Copies the agent list starting at `first` into contiguous scratch so
-    /// the pair loops run over L1-resident arrays instead of chasing the
-    /// intrusive lists per candidate pair. Returns false for empty buckets.
-    bool gather(std::int32_t first) {
-        gather_ids_.clear();
-        gather_pts_.clear();
-        for (auto a = first; a != -1; a = next_[static_cast<std::size_t>(a)]) {
-            gather_ids_.push_back(a);
-            gather_pts_.push_back(points_[static_cast<std::size_t>(a)]);
-        }
-        return !gather_ids_.empty();
     }
 
     grid::Grid2D grid_;
@@ -315,9 +282,10 @@ private:
     std::vector<grid::Coord> agent_by_;     ///< agent -> bucket y coordinate
     std::vector<std::int64_t> occupied_;    ///< buckets with >= 1 agent
     std::vector<std::int32_t> where_;       ///< bucket -> slot in occupied_ (-1)
-    std::vector<std::int32_t> gather_ids_;  ///< pair-scan scratch: agent ids
-    std::vector<grid::Point> gather_pts_;   ///< pair-scan scratch: positions
-    std::span<const grid::Point> points_;   ///< view of the indexed storage
+    std::vector<std::uint64_t> dirty_stamp_;  ///< bucket -> epoch of last dirty mark
+    std::vector<std::int64_t> dirty_list_;    ///< buckets dirtied this epoch
+    std::uint64_t dirty_epoch_{1};            ///< current epoch (0 = never dirty)
+    std::span<const grid::Point> points_;     ///< view of the indexed storage
 };
 
 }  // namespace smn::spatial

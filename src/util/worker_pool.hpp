@@ -1,0 +1,131 @@
+// worker_pool.hpp — a persistent in-process worker pool for per-step
+// parallel kernels.
+//
+// sim::run_replications parallelizes *across* replications; WorkerPool
+// parallelizes *inside* one step (the visibility graph's sharded pair
+// scan). Spawning threads per step would dominate the step cost, so the
+// pool keeps its workers alive between run() calls and hands out shard
+// indices from a shared queue — any worker may take any shard, which is
+// safe because shard outputs are written to per-shard buffers and merged
+// by the caller in fixed shard order (that merge, not the scheduling, is
+// what keeps results deterministic). Shards are coarse (a handful per
+// run), so handing them out under the mutex costs nothing and keeps the
+// synchronization story trivial.
+//
+// The per-step thread count comes from SMN_STEP_THREADS (default 1 = no
+// pool, no threads, zero overhead). It is deliberately separate from
+// SMN_THREADS: replication-level parallelism multiplies with step-level
+// parallelism, and the default keeps the product equal to the replication
+// worker count.
+#pragma once
+
+#include <condition_variable>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace smn::util {
+
+/// Number of intra-step worker threads: the SMN_STEP_THREADS environment
+/// variable clamped to [1, 64]; 1 (fully serial) when unset or invalid.
+[[nodiscard]] inline int step_threads() noexcept {
+    if (const char* env = std::getenv("SMN_STEP_THREADS")) {
+        char* end = nullptr;
+        const long parsed = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && parsed >= 1 && parsed <= 64) {
+            return static_cast<int>(parsed);
+        }
+    }
+    return 1;
+}
+
+/// Persistent pool of `workers` threads (including the caller, which
+/// participates in run()). run(shards, task) invokes task(shard, worker)
+/// for every shard in [0, shards), each exactly once, and returns when all
+/// are done. `worker` is a stable id in [0, workers) identifying which
+/// thread ran the shard — use it to index per-thread scratch.
+class WorkerPool {
+public:
+    explicit WorkerPool(int workers) : workers_{workers < 1 ? 1 : workers} {
+        threads_.reserve(static_cast<std::size_t>(workers_ - 1));
+        for (int w = 1; w < workers_; ++w) {
+            threads_.emplace_back([this, w] { worker_loop(w); });
+        }
+    }
+
+    WorkerPool(const WorkerPool&) = delete;
+    WorkerPool& operator=(const WorkerPool&) = delete;
+
+    ~WorkerPool() {
+        {
+            std::lock_guard<std::mutex> lock{mutex_};
+            stop_ = true;
+        }
+        wake_.notify_all();
+        for (auto& t : threads_) t.join();
+    }
+
+    [[nodiscard]] int workers() const noexcept { return workers_; }
+
+    /// Runs task(shard, worker) for every shard; blocks until all done.
+    /// The calling thread participates as worker 0. Not reentrant.
+    void run(int shards, const std::function<void(int, int)>& task) {
+        if (shards <= 0) return;
+        if (workers_ == 1) {
+            for (int s = 0; s < shards; ++s) task(s, 0);
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lock{mutex_};
+            task_ = &task;
+            next_shard_ = 0;
+            shards_ = shards;
+            remaining_ = shards;
+        }
+        wake_.notify_all();
+        drain(0);
+        std::unique_lock<std::mutex> lock{mutex_};
+        done_.wait(lock, [this] { return remaining_ == 0; });
+        task_ = nullptr;
+    }
+
+private:
+    /// Pops shards until none are left; runs each outside the mutex.
+    void drain(int worker) {
+        std::unique_lock<std::mutex> lock{mutex_};
+        while (next_shard_ < shards_) {
+            const int s = next_shard_++;
+            const auto* task = task_;
+            lock.unlock();
+            (*task)(s, worker);
+            lock.lock();
+            if (--remaining_ == 0) done_.notify_all();
+        }
+    }
+
+    void worker_loop(int worker) {
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lock{mutex_};
+                wake_.wait(lock, [this] { return stop_ || next_shard_ < shards_; });
+                if (stop_) return;
+            }
+            drain(worker);
+        }
+    }
+
+    int workers_;
+    std::vector<std::thread> threads_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    const std::function<void(int, int)>* task_{nullptr};
+    int next_shard_{0};
+    int shards_{0};
+    int remaining_{0};
+    bool stop_{false};
+};
+
+}  // namespace smn::util

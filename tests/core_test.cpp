@@ -10,6 +10,7 @@
 #include "core/engine.hpp"
 #include "core/observers.hpp"
 #include "core/rumor.hpp"
+#include "rng/rng.hpp"
 
 namespace smn::core {
 namespace {
@@ -60,10 +61,41 @@ TEST(MultiRumor, OneRumorPerAgentInit) {
 
 TEST(MultiRumor, WordManipulationAndCompletion) {
     auto m = MultiRumorState::one_rumor_per_agent(3);
-    // Give everyone everything.
-    for (std::int32_t a = 0; a < 3; ++a) m.word(a, 0) = 0b111;
+    // Give everyone everything through the counting merge path.
+    for (std::int32_t a = 0; a < 3; ++a) {
+        const auto gained = m.merge_word(a, 0, 0b111);
+        EXPECT_EQ(gained, 0b111u & ~(std::uint64_t{1} << a));
+        EXPECT_EQ(m.merge_word(a, 0, 0b111), 0u);  // idempotent
+    }
     EXPECT_TRUE(m.complete());
     for (std::int32_t a = 0; a < 3; ++a) EXPECT_TRUE(m.knows_all(a));
+}
+
+TEST(MultiRumor, IncrementalCountersMatchBitScans) {
+    // merge_word's incremental counters must agree with a popcount rescan
+    // of the raw words after every merge.
+    auto m = MultiRumorState::one_rumor_per_agent(130);
+    rng::Rng rng{99};
+    for (int round = 0; round < 200; ++round) {
+        const auto a = static_cast<std::int32_t>(rng.below(130));
+        const auto w = static_cast<std::size_t>(rng.below(m.words_per_agent()));
+        const std::uint64_t incoming = rng.next_u64() & rng.next_u64();
+        const std::uint64_t before = m.word(a, w);
+        const auto mask = w + 1 == m.words_per_agent()
+                              ? (std::uint64_t{1} << (130 - 64 * 2)) - 1
+                              : ~std::uint64_t{0};
+        const auto gained = m.merge_word(a, w, incoming & mask);
+        EXPECT_EQ(gained, (incoming & mask) & ~before);
+        std::int32_t total = 0;
+        for (std::size_t ww = 0; ww < m.words_per_agent(); ++ww) {
+            total += static_cast<std::int32_t>(__builtin_popcountll(m.word(a, ww)));
+        }
+        EXPECT_EQ(m.knowledge_count(a), total);
+    }
+    std::int32_t done = 0;
+    for (std::int32_t a = 0; a < 130; ++a) done += m.knows_all(a) ? 1 : 0;
+    EXPECT_EQ(m.done_agents(), done);
+    EXPECT_EQ(m.complete(), done == 130);
 }
 
 TEST(MultiRumor, ManyRumorsCrossWordBoundary) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <numeric>
 #include <set>
 #include <vector>
@@ -242,6 +243,109 @@ INSTANTIATE_TEST_SUITE_P(
                       IncrementalVisParam{1, Metric::kEuclidean},
                       IncrementalVisParam{2, Metric::kEuclidean},
                       IncrementalVisParam{5, Metric::kEuclidean}));
+
+// The PR 4 dirty-region protocol under adversarial move sequences:
+// single-cell steps, teleports, and frog-style partial rounds where most
+// agents stay frozen (the replay-heavy regime). After every round the
+// replayed partition must equal build_naive's, for the full radius grid
+// r ∈ {0, 1, 2, 5} under all three metrics.
+class VisibilityDirtyReplay : public ::testing::TestWithParam<IncrementalVisParam> {};
+
+TEST_P(VisibilityDirtyReplay, RandomMovesTeleportsAndPartialRoundsMatchNaive) {
+    const auto param = GetParam();
+    const auto g = Grid2D::square(20);
+    rng::Rng rng{static_cast<std::uint64_t>(4400 + param.radius * 7 +
+                                            static_cast<int>(param.metric))};
+    VisibilityGraphBuilder builder{g, param.radius, param.metric};
+    DisjointSets fast{0};
+    DisjointSets slow{0};
+    std::vector<Point> pos;
+    for (int i = 0; i < 36; ++i) pos.push_back(walk::AgentEnsemble::random_node(g, rng));
+    builder.build(pos, fast);
+    for (int round = 0; round < 60; ++round) {
+        builder.begin_step();
+        // Frog-style partial round: only a random subset moves (often a
+        // small one, so most scan units stay clean and must replay).
+        const auto movers = 1 + rng.below(round % 3 == 0 ? pos.size() : 4);
+        for (std::uint64_t m = 0; m < movers; ++m) {
+            const auto a = static_cast<std::int32_t>(rng.below(pos.size()));
+            const auto from = pos[static_cast<std::size_t>(a)];
+            Point to;
+            if (rng.below(10) == 0) {
+                to = walk::AgentEnsemble::random_node(g, rng);  // teleport
+            } else {
+                to = walk::step(g, from, rng);
+            }
+            if (to == from) continue;
+            pos[static_cast<std::size_t>(a)] = to;
+            builder.on_move(a, from, to);
+        }
+        builder.rebuild_components(pos, fast);
+        VisibilityGraphBuilder::build_naive(pos, param.radius, param.metric, slow);
+        EXPECT_EQ(canonical(fast), canonical(slow))
+            << "round " << round << " r " << param.radius << " metric "
+            << grid::metric_name(param.metric);
+    }
+    if (param.radius >= 1) {
+        // The small partial rounds above must actually exercise the
+        // replay path — otherwise this test proves nothing about it.
+        EXPECT_GT(builder.replayed_units(), 0) << "replay path never taken";
+        EXPECT_GT(builder.rescanned_units(), 0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RadiiAndMetrics, VisibilityDirtyReplay,
+    ::testing::Values(IncrementalVisParam{0, Metric::kManhattan},
+                      IncrementalVisParam{1, Metric::kManhattan},
+                      IncrementalVisParam{2, Metric::kManhattan},
+                      IncrementalVisParam{5, Metric::kManhattan},
+                      IncrementalVisParam{1, Metric::kChebyshev},
+                      IncrementalVisParam{2, Metric::kChebyshev},
+                      IncrementalVisParam{5, Metric::kChebyshev},
+                      IncrementalVisParam{1, Metric::kEuclidean},
+                      IncrementalVisParam{2, Metric::kEuclidean},
+                      IncrementalVisParam{5, Metric::kEuclidean}));
+
+// SMN_STEP_THREADS must not change a single union outcome: the sharded
+// scan merges per-shard edge buffers in fixed row order, so the DSU state
+// — not just the partition — matches the serial pass for the same move
+// sequence.
+TEST(VisibilityStepThreads, ShardedScanIsBitIdenticalToSerial) {
+    const auto g = Grid2D::square(24);
+    for (const std::int64_t radius : {1, 3}) {
+        std::vector<std::vector<std::int32_t>> roots_by_threads;
+        for (const char* threads : {"1", "4"}) {
+            ASSERT_EQ(setenv("SMN_STEP_THREADS", threads, 1), 0);
+            rng::Rng rng{static_cast<std::uint64_t>(7100 + radius)};
+            VisibilityGraphBuilder builder{g, radius};
+            EXPECT_EQ(builder.scan_threads(), threads[0] - '0');
+            DisjointSets dsu{0};
+            std::vector<Point> pos;
+            for (int i = 0; i < 60; ++i) {
+                pos.push_back(walk::AgentEnsemble::random_node(g, rng));
+            }
+            builder.build(pos, dsu);
+            std::vector<std::int32_t> roots;
+            for (int round = 0; round < 30; ++round) {
+                builder.begin_step();
+                for (std::size_t a = 0; a < pos.size(); ++a) {
+                    if (rng.below(3) == 0) continue;  // partial rounds too
+                    const auto from = pos[a];
+                    pos[a] = walk::step(g, from, rng);
+                    if (pos[a] != from) {
+                        builder.on_move(static_cast<std::int32_t>(a), from, pos[a]);
+                    }
+                }
+                builder.rebuild_components(pos, dsu);
+                for (std::int32_t a = 0; a < 60; ++a) roots.push_back(dsu.find(a));
+            }
+            roots_by_threads.push_back(std::move(roots));
+            unsetenv("SMN_STEP_THREADS");
+        }
+        EXPECT_EQ(roots_by_threads[0], roots_by_threads[1]) << "radius " << radius;
+    }
+}
 
 // ---------------------------------------------------------- ComponentStats
 
