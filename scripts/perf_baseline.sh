@@ -3,13 +3,14 @@
 # three tracked parameter points (percolation-scale radius; all-move at two
 # sizes plus the Frog model), convert the timing sweep into a BENCH json
 # record, and — when a checked-in baseline is given — fail on >30%
-# regression (see scripts/perf_gate.py for the knobs).
+# regression (see scripts/perf_gate.py for the knobs; it also reports each
+# record's sweep wall-clock next to its steps/s).
 #
 # Usage: scripts/perf_baseline.sh [build-dir] [out-json] [baseline-json]
 set -euo pipefail
 
 build_dir="${1:-build}"
-out_json="${2:-results/BENCH_PR4.json}"
+out_json="${2:-results/BENCH_PR5.json}"
 baseline_json="${3:-}"
 
 out_dir="$(dirname "${out_json}")"

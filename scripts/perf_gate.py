@@ -49,6 +49,19 @@ def main():
                 "steps_per_s": timing["steps_per_s"],
                 "wall_s": timing["wall_s"],
             }
+            # sweep_wall_s (records written since the pipelined runner) is
+            # the end-to-end wall clock of the whole pooled pass the point
+            # belonged to; wall_s sums per-replication cost. Their ratio is
+            # the sweep's effective replication-level parallelism.
+            sweep_wall = timing.get("sweep_wall_s")
+            if sweep_wall is not None:
+                point["sweep_wall_s"] = sweep_wall
+                if sweep_wall > 0:
+                    point["parallel_speedup"] = round(timing["wall_s"] / sweep_wall, 3)
+                print(f"[perf-gate] {point['key']}: wall {timing['wall_s']:.3f}s, "
+                      f"sweep wall {sweep_wall:.3f}s"
+                      + (f", parallel speedup {point['parallel_speedup']:.2f}x"
+                         if sweep_wall > 0 else ""))
             phases = timing.get("phases")
             if phases:
                 point["phases"] = phases

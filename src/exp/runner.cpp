@@ -1,6 +1,7 @@
 #include "exp/runner.hpp"
 
-#include <exception>
+#include <atomic>
+#include <chrono>
 #include <stdexcept>
 
 #include "rng/rng.hpp"
@@ -14,6 +15,87 @@ std::uint64_t fnv1a(const std::string& text, std::uint64_t hash) noexcept {
         hash *= 0x100000001B3ULL;
     }
     return hash;
+}
+
+/// Executes every (point, replication) unit of `points` through one
+/// ReplicationPool pass and aggregates per point in index order. The
+/// shared implementation of run_point and run_sweep: both produce records
+/// through the exact same aggregation walk, so a pipelined sweep is
+/// byte-identical to running its points one at a time.
+std::vector<PointResult> run_points(const Scenario& scenario,
+                                    const std::vector<ParamValues>& points,
+                                    const RunOptions& options) {
+    if (options.reps < 1) throw std::invalid_argument("run_point: reps must be >= 1");
+    const auto reps = static_cast<std::size_t>(options.reps);
+
+    // Bind every point before any replication runs, so a typo'd parameter
+    // fails fast instead of after the first points' worth of compute.
+    std::vector<ScenarioParams> bound;
+    std::vector<std::uint64_t> seeds;
+    bound.reserve(points.size());
+    seeds.reserve(points.size());
+    for (const auto& values : points) {
+        bound.emplace_back(scenario.params, values);
+        seeds.push_back(point_seed(options.seed, scenario.name, values));
+    }
+
+    // One flat unit queue over the whole sweep: unit u is replication
+    // u % reps of point u / reps. Dynamic scheduling means a small
+    // point's units never wait for a slow neighbour point to finish;
+    // per-unit result slots keep the outcome independent of who ran what.
+    const std::size_t total = points.size() * reps;
+    std::vector<Metrics> unit_metrics(total);
+    std::vector<double> unit_seconds(total);
+    std::atomic<std::size_t> done{0};
+    const int threads = options.threads > 0 ? options.threads : sim::default_threads();
+
+    using clock = std::chrono::steady_clock;
+    const auto sweep_begin = clock::now();
+    sim::ReplicationPool::instance().run_units(
+        static_cast<int>(total), threads, [&](int unit) {
+            const auto u = static_cast<std::size_t>(unit);
+            const auto point = u / reps;
+            const auto rep = u % reps;
+            const auto begin = clock::now();
+            unit_metrics[u] = scenario.run_rep(
+                bound[point], rng::replication_seed(seeds[point], rep));
+            unit_seconds[u] = std::chrono::duration<double>(clock::now() - begin).count();
+            if (options.on_progress) {
+                options.on_progress(done.fetch_add(1, std::memory_order_relaxed) + 1, total);
+            }
+        });
+    const double sweep_wall =
+        std::chrono::duration<double>(clock::now() - sweep_begin).count();
+
+    std::vector<PointResult> results;
+    results.reserve(points.size());
+    for (std::size_t point = 0; point < points.size(); ++point) {
+        PointResult result;
+        result.scenario = scenario.name;
+        result.params = points[point];
+        result.reps = options.reps;
+        result.seed = seeds[point];
+        result.sweep_wall_seconds = sweep_wall;
+        for (std::size_t rep = 0; rep < reps; ++rep) {
+            const auto u = point * reps + rep;
+            result.wall_seconds += unit_seconds[u];
+            for (const auto& [name, value] : unit_metrics[u]) {
+                if (name.starts_with("timing.")) {
+                    // Reserved prefix: host-dependent phase seconds — keep
+                    // out of the deterministic metric block (see
+                    // PointResult).
+                    result.phase_seconds[name.substr(7)] += value;
+                    continue;
+                }
+                result.metrics[name].add(value);
+                if (name == "steps") result.steps += value;
+            }
+        }
+        result.steps_per_second =
+            result.wall_seconds > 0.0 ? result.steps / result.wall_seconds : 0.0;
+        results.push_back(std::move(result));
+    }
+    return results;
 }
 
 }  // namespace
@@ -36,69 +118,13 @@ std::uint64_t point_seed(std::uint64_t base, const std::string& scenario,
 
 PointResult run_point(const Scenario& scenario, const ParamValues& values,
                       const RunOptions& options) {
-    if (options.reps < 1) throw std::invalid_argument("run_point: reps must be >= 1");
-    const ScenarioParams params{scenario.params, values};
-
-    PointResult result;
-    result.scenario = scenario.name;
-    result.params = values;
-    result.reps = options.reps;
-    result.seed = point_seed(options.seed, scenario.name, values);
-
-    // Each replication writes its metrics into a preallocated slot; the
-    // ordered aggregation below is what makes the result thread-invariant.
-    // Exceptions are captured per slot and rethrown on the caller's thread:
-    // run_replications workers are plain std::threads, so a throwing body
-    // (e.g. lazy parameter validation inside run_rep) would otherwise hit
-    // std::terminate — and only when threads > 1.
-    std::vector<Metrics> rep_metrics(static_cast<std::size_t>(options.reps));
-    std::vector<std::exception_ptr> rep_errors(static_cast<std::size_t>(options.reps));
-    const int threads = options.threads > 0 ? options.threads : sim::default_threads();
-    Meter meter;
-    meter.start();
-    (void)sim::run_replications(
-        options.reps, result.seed,
-        [&](int rep, std::uint64_t seed) {
-            try {
-                rep_metrics[static_cast<std::size_t>(rep)] = scenario.run_rep(params, seed);
-            } catch (...) {
-                rep_errors[static_cast<std::size_t>(rep)] = std::current_exception();
-            }
-            return 0.0;
-        },
-        threads);
-    meter.stop();
-    for (const auto& error : rep_errors) {
-        if (error) std::rethrow_exception(error);
-    }
-
-    for (const auto& metrics : rep_metrics) {
-        for (const auto& [name, value] : metrics) {
-            if (name.starts_with("timing.")) {
-                // Reserved prefix: host-dependent phase seconds — keep out
-                // of the deterministic metric block (see PointResult).
-                result.phase_seconds[name.substr(7)] += value;
-                continue;
-            }
-            result.metrics[name].add(value);
-            if (name == "steps") meter.add_steps(value);
-        }
-    }
-    result.wall_seconds = meter.wall_seconds();
-    result.steps = meter.steps();
-    result.steps_per_second = meter.steps_per_second();
-    return result;
+    auto results = run_points(scenario, {values}, options);
+    return std::move(results.front());
 }
 
 std::vector<PointResult> run_sweep(const Scenario& scenario, const SweepSpec& sweep,
                                    const RunOptions& options) {
-    std::vector<PointResult> results;
-    const auto points = sweep.points();
-    results.reserve(points.size());
-    for (const auto& point : points) {
-        results.push_back(run_point(scenario, point, options));
-    }
-    return results;
+    return run_points(scenario, sweep.points(), options);
 }
 
 }  // namespace smn::exp

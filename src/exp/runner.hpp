@@ -1,19 +1,25 @@
 // runner.hpp — executes scenarios over parameter points and replications.
 //
 // run_point() executes one (scenario, parameter point): `reps`
-// replications farmed over sim::run_replications workers, each with a seed
-// derived deterministically from (base seed, scenario name, canonical
+// replications farmed over the shared sim::ReplicationPool, each with a
+// seed derived deterministically from (base seed, scenario name, canonical
 // parameter point, replication index). Aggregation walks replications in
 // index order, so every statistic — and therefore every emitted record —
-// is bit-identical regardless of the thread count. run_sweep() maps
-// run_point over a SweepSpec cross-product.
+// is bit-identical regardless of the thread count. run_sweep() pipelines
+// the whole cross-product of a SweepSpec through one pool pass: every
+// (point, replication) unit enters a single dynamically-scheduled queue,
+// so a small point's replications never serialize behind a slow
+// neighbour's, while per-point aggregation stays ordered (records are
+// byte-identical to a serial run).
 //
 // Seeds are decoupled from sweep *shape*: a point's seed depends only on
 // its own canonical parameters, so adding an axis value to a sweep never
 // shifts the seeds (and thus the results) of the points already in it.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -32,6 +38,12 @@ struct RunOptions {
     std::uint64_t seed{20110601};        ///< base seed of the whole run
     int threads{0};                      ///< 0 → sim::default_threads()
     bool quick{false};                   ///< propagated from --quick
+    /// Optional progress hook: called as on_progress(done, total) after
+    /// each completed replication unit, where `total` counts every
+    /// (point, replication) pair of the run. Invoked from worker threads
+    /// concurrently — the callback must be thread-safe. Purely
+    /// observational; never affects results.
+    std::function<void(std::size_t, std::size_t)> on_progress;
 };
 
 /// Aggregated result of one (scenario, parameter point).
@@ -41,9 +53,14 @@ struct PointResult {
     int reps{0};                                ///< replications executed
     std::uint64_t seed{0};                      ///< derived point seed
     std::map<std::string, stats::Sample> metrics;  ///< per-metric samples
-    double wall_seconds{0.0};                   ///< meter: wall clock
+    double wall_seconds{0.0};                   ///< summed replication wall clock
     double steps{0.0};                          ///< meter: total "steps"
     double steps_per_second{0.0};               ///< meter: throughput
+    /// Wall clock of the whole pipelined run this point belonged to (the
+    /// run_point/run_sweep call), identical across a sweep's points. With
+    /// replication parallelism this is the end-to-end latency, while
+    /// wall_seconds sums per-replication costs (serial-equivalent time).
+    double sweep_wall_seconds{0.0};
 
     /// Phase wall-clock attribution, summed across replications. Fed by
     /// metrics whose name carries the reserved "timing." prefix — those
@@ -64,7 +81,9 @@ struct PointResult {
 [[nodiscard]] PointResult run_point(const Scenario& scenario, const ParamValues& values,
                                     const RunOptions& options);
 
-/// Runs every point of the sweep in cross-product order.
+/// Runs every point of the sweep in cross-product order. All points'
+/// replications share one dynamically-scheduled pool pass (results stay
+/// byte-identical to running the points one at a time).
 [[nodiscard]] std::vector<PointResult> run_sweep(const Scenario& scenario,
                                                  const SweepSpec& sweep,
                                                  const RunOptions& options);

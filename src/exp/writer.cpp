@@ -81,6 +81,7 @@ void JsonlWriter::write(const PointResult& result) {
     line += '}';
     if (timings_) {
         line += ",\"timing\":{\"wall_s\":" + json_number(result.wall_seconds);
+        line += ",\"sweep_wall_s\":" + json_number(result.sweep_wall_seconds);
         line += ",\"steps\":" + json_number(result.steps);
         line += ",\"steps_per_s\":" + json_number(result.steps_per_second);
         if (!result.phase_seconds.empty()) {
@@ -110,6 +111,7 @@ void CsvWriter::write(const PointResult& result) {
                                      "count",    "mean",   "stderr", "median", "min", "max"};
     if (timings_) {
         headers.push_back("wall_s");
+        headers.push_back("sweep_wall_s");
         headers.push_back("steps_per_s");
     }
     stats::Table table{headers};
@@ -127,6 +129,7 @@ void CsvWriter::write(const PointResult& result) {
                                      format_double(sample.max())};
         if (timings_) {
             row.push_back(format_double(result.wall_seconds));
+            row.push_back(format_double(result.sweep_wall_seconds));
             row.push_back(format_double(result.steps_per_second));
         }
         table.add_row(std::move(row));

@@ -2,11 +2,34 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <stdexcept>
 
 #include "sim/runner.hpp"
 
 namespace smn::sim {
+namespace {
+
+// std::stoll/stod alone accept trailing garbage ("12abc" parses as 12),
+// so every numeric option demands full consumption of the value — the
+// same contract exp/scenario.cpp applies to scenario parameters. Empty
+// values ("--reps=") throw from stoll/stod directly.
+
+std::int64_t parse_int_strict(const std::string& text) {
+    std::size_t used = 0;
+    const std::int64_t parsed = std::stoll(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return parsed;
+}
+
+double parse_double_strict(const std::string& text) {
+    std::size_t used = 0;
+    const double parsed = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return parsed;
+}
+
+}  // namespace
 
 Args::Args(int argc, const char* const* argv) {
     for (int i = 1; i < argc; ++i) {
@@ -41,7 +64,7 @@ std::int64_t Args::get_int(const std::string& key, std::int64_t fallback) {
     const auto it = values_.find(key);
     if (it == values_.end()) return fallback;
     try {
-        return std::stoll(it->second);
+        return parse_int_strict(it->second);
     } catch (const std::exception&) {
         throw std::invalid_argument("--" + key + " expects an integer, got '" + it->second + "'");
     }
@@ -52,7 +75,7 @@ double Args::get_double(const std::string& key, double fallback) {
     const auto it = values_.find(key);
     if (it == values_.end()) return fallback;
     try {
-        return std::stod(it->second);
+        return parse_double_strict(it->second);
     } catch (const std::exception&) {
         throw std::invalid_argument("--" + key + " expects a number, got '" + it->second + "'");
     }
@@ -73,9 +96,11 @@ int Args::threads() const {
     const auto it = values_.find("threads");
     if (it == values_.end()) return default_threads();
     try {
-        const int threads = std::stoi(it->second);
-        if (threads < 1) throw std::invalid_argument(it->second);
-        return threads;
+        const std::int64_t threads = parse_int_strict(it->second);
+        if (threads < 1 || threads > std::numeric_limits<int>::max()) {
+            throw std::invalid_argument(it->second);
+        }
+        return static_cast<int>(threads);
     } catch (const std::exception&) {
         throw std::invalid_argument("--threads expects an integer >= 1, got '" + it->second +
                                     "'");

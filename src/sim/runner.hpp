@@ -1,21 +1,28 @@
 // runner.hpp — deterministic multi-threaded replication runner.
 //
 // Experiments estimate expectations (and tails) over many independent
-// replications. run_replications farms replication indices over a fixed
-// number of worker threads; every replication derives its own RNG seed
-// from (base_seed, rep_index), so the aggregate result is bit-identical
-// regardless of thread count or scheduling — a property the integration
-// tests assert.
+// replications with heavy-tailed per-replication cost (a near-critical
+// replication can run orders of magnitude longer than its siblings).
+// run_replications farms replication indices over a persistent,
+// dynamically-scheduled worker pool: workers pull the next index from a
+// shared queue, so a slow replication never strands the rest of a static
+// stride. Every replication derives its own RNG seed from (base_seed,
+// rep_index) and lands in its own result slot, so the aggregate result is
+// bit-identical regardless of thread count or scheduling — a property the
+// integration tests assert.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "rng/rng.hpp"
 #include "stats/running_stats.hpp"
+#include "util/worker_pool.hpp"
 
 namespace smn::sim {
 
@@ -36,36 +43,120 @@ namespace smn::sim {
     return static_cast<int>(hw > 16 ? 16 : hw);
 }
 
-/// Runs `reps` replications of `body` over `threads` workers and returns
-/// the per-replication values in replication order.
+/// Effective replication-level worker count for `threads` requested
+/// workers and `reps` replications. Clamps to [1, reps] (idle workers are
+/// never spawned) and divides by util::step_threads() when step-level
+/// parallelism is on, so replication workers × step workers never exceeds
+/// the requested thread budget (SMN_THREADS × SMN_STEP_THREADS
+/// oversubscription would otherwise multiply).
+[[nodiscard]] inline int replication_workers(int threads, int reps) noexcept {
+    int workers = threads < 1 ? 1 : threads;
+    const int step = util::step_threads();
+    if (step > 1) workers = std::max(1, workers / step);
+    if (reps >= 0) workers = std::min(workers, reps);
+    return std::max(workers, 1);
+}
+
+/// Process-wide persistent pool for replication-level parallelism.
 ///
-/// `body(rep, seed)` must be thread-safe with respect to distinct `rep`
-/// values and return the replication's scalar result; `seed` is the
-/// derived deterministic seed for that replication.
+/// Replication bodies are handed out dynamically (each worker pulls the
+/// next index from the shared queue), results are written to
+/// index-addressed slots, and the pool's workers persist across calls —
+/// run_point after run_point reuses the same threads instead of spawning
+/// per call. Exceptions thrown by a body cancel the remaining
+/// replications and resurface on the caller's thread (see
+/// util::WorkerPool).
+///
+/// Dispatch is serialized: if the pool is already busy — a concurrent
+/// run() from another thread, or a replication body recursively running
+/// replications — the new call falls back to inline serial execution,
+/// which is always correct because results never depend on scheduling.
+class ReplicationPool {
+public:
+    /// The singleton every runner shares.
+    [[nodiscard]] static ReplicationPool& instance() {
+        static ReplicationPool pool;
+        return pool;
+    }
+
+    /// Runs task(unit) for every unit in [0, units) over at most
+    /// `threads` workers (clamped via replication_workers). Blocks until
+    /// all units are done; the calling thread participates. The first
+    /// exception cancels undistributed units and is rethrown here.
+    void run_units(int units, int threads, const std::function<void(int)>& task) {
+        const int workers = replication_workers(threads, units);
+        if (workers <= 1 || busy_here()) {
+            for (int unit = 0; unit < units; ++unit) task(unit);
+            return;
+        }
+        std::unique_lock<std::mutex> dispatch{dispatch_mutex_, std::try_to_lock};
+        if (!dispatch.owns_lock()) {
+            // Another thread is mid-run: don't queue behind it, just run
+            // inline — determinism never depended on the pool.
+            for (int unit = 0; unit < units; ++unit) task(unit);
+            return;
+        }
+        busy_here() = true;
+        pool_.ensure_workers(workers);
+        const std::function<void(int, int)> shard = [&task](int unit, int) { task(unit); };
+        try {
+            pool_.run(units, shard, workers);
+        } catch (...) {
+            busy_here() = false;
+            throw;
+        }
+        busy_here() = false;
+    }
+
+    /// Runs `reps` replications of `body` and returns the per-replication
+    /// results in replication order. `body(rep, seed)` gets the
+    /// deterministic seed derived from (base_seed, rep); R must be
+    /// default-constructible and move-assignable.
+    template <typename R, typename Body>
+    [[nodiscard]] std::vector<R> run(int reps, std::uint64_t base_seed, Body&& body,
+                                     int threads) {
+        std::vector<R> results(reps < 0 ? 0 : static_cast<std::size_t>(reps));
+        run_units(reps, threads, [&](int rep) {
+            results[static_cast<std::size_t>(rep)] =
+                body(rep, rng::replication_seed(base_seed, static_cast<std::uint64_t>(rep)));
+        });
+        return results;
+    }
+
+private:
+    ReplicationPool() : pool_{1} {}
+
+    /// Whether THIS thread is inside a run_units dispatch. Guards the
+    /// recursive case (a body running replications itself): try_lock on a
+    /// mutex the same thread holds is undefined, so recursion is detected
+    /// before touching the lock and runs inline instead.
+    [[nodiscard]] static bool& busy_here() noexcept {
+        thread_local bool busy = false;
+        return busy;
+    }
+
+    util::WorkerPool pool_;
+    std::mutex dispatch_mutex_;
+};
+
+/// Runs `reps` replications of `body` over at most `threads` workers of
+/// the shared ReplicationPool and returns the per-replication results in
+/// replication order. `body(rep, seed)` must be thread-safe with respect
+/// to distinct `rep` values; `seed` is the derived deterministic seed for
+/// that replication. R carries structured per-replication results (e.g. a
+/// metrics map), not just scalars.
+template <typename R, typename Body>
+[[nodiscard]] std::vector<R> run_replications_as(int reps, std::uint64_t base_seed, Body&& body,
+                                                 int threads = default_threads()) {
+    return ReplicationPool::instance().run<R>(reps, base_seed, std::forward<Body>(body),
+                                              threads);
+}
+
+/// Scalar convenience overload of run_replications_as.
 [[nodiscard]] inline std::vector<double> run_replications(
     int reps, std::uint64_t base_seed, const std::function<double(int, std::uint64_t)>& body,
     int threads = default_threads()) {
-    std::vector<double> results(static_cast<std::size_t>(reps));
-    if (threads <= 1) {
-        for (int rep = 0; rep < reps; ++rep) {
-            results[static_cast<std::size_t>(rep)] =
-                body(rep, rng::replication_seed(base_seed, static_cast<std::uint64_t>(rep)));
-        }
-        return results;
-    }
-    std::vector<std::thread> workers;
-    workers.reserve(static_cast<std::size_t>(threads));
-    for (int w = 0; w < threads; ++w) {
-        workers.emplace_back([&, w] {
-            // Strided assignment: replication r runs on worker r % threads.
-            for (int rep = w; rep < reps; rep += threads) {
-                results[static_cast<std::size_t>(rep)] =
-                    body(rep, rng::replication_seed(base_seed, static_cast<std::uint64_t>(rep)));
-            }
-        });
-    }
-    for (auto& worker : workers) worker.join();
-    return results;
+    return run_replications_as<double>(reps, base_seed, body, threads);
 }
 
 /// Convenience: runs replications and accumulates them into a Sample.

@@ -74,13 +74,15 @@ private:
     double max_{-std::numeric_limits<double>::infinity()};
 };
 
-/// Retained sample with quantile queries.
+/// Retained sample with quantile queries. Observations are kept in
+/// insertion order — values() always reflects the order of add() calls,
+/// even after quantile queries (which sort a separate scratch buffer).
 class Sample {
 public:
     void add(double x) {
         values_.push_back(x);
         stats_.add(x);
-        sorted_ = false;
+        sorted_dirty_ = true;
     }
 
     [[nodiscard]] std::int64_t count() const noexcept { return stats_.count(); }
@@ -98,25 +100,27 @@ public:
         assert(!values_.empty());
         assert(q >= 0.0 && q <= 1.0);
         ensure_sorted();
-        const double pos = q * static_cast<double>(values_.size() - 1);
+        const double pos = q * static_cast<double>(sorted_.size() - 1);
         const auto lo = static_cast<std::size_t>(pos);
-        const auto hi = std::min(lo + 1, values_.size() - 1);
+        const auto hi = std::min(lo + 1, sorted_.size() - 1);
         const double frac = pos - static_cast<double>(lo);
-        return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+        return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
     }
 
     [[nodiscard]] double median() const { return quantile(0.5); }
 
 private:
     void ensure_sorted() const {
-        if (!sorted_) {
-            std::sort(values_.begin(), values_.end());
-            sorted_ = true;
+        if (sorted_dirty_) {
+            sorted_ = values_;
+            std::sort(sorted_.begin(), sorted_.end());
+            sorted_dirty_ = false;
         }
     }
 
-    mutable std::vector<double> values_;
-    mutable bool sorted_{false};
+    std::vector<double> values_;
+    mutable std::vector<double> sorted_;
+    mutable bool sorted_dirty_{true};
     RunningStats stats_;
 };
 

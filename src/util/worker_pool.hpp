@@ -1,26 +1,35 @@
-// worker_pool.hpp — a persistent in-process worker pool for per-step
-// parallel kernels.
+// worker_pool.hpp — a persistent in-process worker pool with dynamic
+// shard scheduling.
 //
-// sim::run_replications parallelizes *across* replications; WorkerPool
-// parallelizes *inside* one step (the visibility graph's sharded pair
-// scan). Spawning threads per step would dominate the step cost, so the
-// pool keeps its workers alive between run() calls and hands out shard
-// indices from a shared queue — any worker may take any shard, which is
-// safe because shard outputs are written to per-shard buffers and merged
-// by the caller in fixed shard order (that merge, not the scheduling, is
-// what keeps results deterministic). Shards are coarse (a handful per
-// run), so handing them out under the mutex costs nothing and keeps the
-// synchronization story trivial.
+// The pool serves two distinct parallelism layers:
+//   - *inside* one simulation step: the visibility graph's sharded pair
+//     scan (a handful of coarse shards per run), and
+//   - *across* replications: sim::ReplicationPool (sim/runner.hpp) hands
+//     out replication indices as shards, one replication per shard.
+// Spawning threads per run would dominate both workloads, so the pool
+// keeps its workers alive between run() calls and hands out shard indices
+// from a shared queue — any worker may take any shard (dynamic
+// scheduling), which is safe because shard outputs are written to
+// per-shard buffers and either merged by the caller in fixed shard order
+// (the scan) or already index-addressed (replications). That merge-by-
+// index, not the scheduling, is what keeps results deterministic; a slow
+// shard therefore never strands work behind a static stride.
+//
+// Exceptions thrown by a shard are captured inside the pool: the first
+// one cancels the shards not yet handed out (in-flight shards finish) and
+// is rethrown on the caller's thread once every worker has drained. A
+// throwing task body is thus an ordinary error, not std::terminate.
 //
 // The per-step thread count comes from SMN_STEP_THREADS (default 1 = no
 // pool, no threads, zero overhead). It is deliberately separate from
 // SMN_THREADS: replication-level parallelism multiplies with step-level
-// parallelism, and the default keeps the product equal to the replication
-// worker count.
+// parallelism, and sim::replication_workers() divides the replication
+// worker count by step_threads() so the product never oversubscribes.
 #pragma once
 
 #include <condition_variable>
 #include <cstdlib>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -43,9 +52,10 @@ namespace smn::util {
 
 /// Persistent pool of `workers` threads (including the caller, which
 /// participates in run()). run(shards, task) invokes task(shard, worker)
-/// for every shard in [0, shards), each exactly once, and returns when all
-/// are done. `worker` is a stable id in [0, workers) identifying which
-/// thread ran the shard — use it to index per-thread scratch.
+/// for every shard in [0, shards) — each at most once; an exception
+/// cancels the rest — and returns when all handed-out shards are done.
+/// `worker` is a stable id in [0, workers) identifying which thread ran
+/// the shard — use it to index per-thread scratch.
 class WorkerPool {
 public:
     explicit WorkerPool(int workers) : workers_{workers < 1 ? 1 : workers} {
@@ -69,12 +79,34 @@ public:
 
     [[nodiscard]] int workers() const noexcept { return workers_; }
 
-    /// Runs task(shard, worker) for every shard; blocks until all done.
-    /// The calling thread participates as worker 0. Not reentrant.
-    void run(int shards, const std::function<void(int, int)>& task) {
+    /// Grows the pool to at least `workers` threads. Must not overlap a
+    /// run() (callers serialize externally — sim::ReplicationPool holds
+    /// its dispatch lock across ensure_workers + run).
+    void ensure_workers(int workers) {
+        if (workers <= workers_) return;
+        {
+            // Workers park on `wake_` between runs; taking the lock here
+            // orders the growth against their predicate reads.
+            std::lock_guard<std::mutex> lock{mutex_};
+            for (int w = workers_; w < workers; ++w) {
+                threads_.emplace_back([this, w] { worker_loop(w); });
+            }
+            workers_ = workers;
+        }
+    }
+
+    /// Runs task(shard, worker) for shards [0, shards); blocks until all
+    /// handed-out shards are done. The calling thread participates as
+    /// worker 0. At most max(1, max_workers) workers take part (0 = all).
+    /// The first exception a shard throws cancels the shards not yet
+    /// handed out and is rethrown here. Not reentrant.
+    void run(int shards, const std::function<void(int, int)>& task, int max_workers = 0) {
         if (shards <= 0) return;
-        if (workers_ == 1) {
-            for (int s = 0; s < shards; ++s) task(s, 0);
+        int active =
+            max_workers <= 0 ? workers_ : (max_workers < workers_ ? max_workers : workers_);
+        if (active > shards) active = shards;
+        if (active <= 1) {
+            for (int s = 0; s < shards; ++s) task(s, 0);  // exceptions propagate directly
             return;
         }
         {
@@ -82,26 +114,46 @@ public:
             task_ = &task;
             next_shard_ = 0;
             shards_ = shards;
-            remaining_ = shards;
+            active_ = active;
+            error_ = nullptr;
         }
         wake_.notify_all();
         drain(0);
-        std::unique_lock<std::mutex> lock{mutex_};
-        done_.wait(lock, [this] { return remaining_ == 0; });
-        task_ = nullptr;
+        std::exception_ptr error;
+        {
+            std::unique_lock<std::mutex> lock{mutex_};
+            done_.wait(lock, [this] { return next_shard_ >= shards_ && in_flight_ == 0; });
+            task_ = nullptr;
+            shards_ = 0;  // parks workers until the next run
+            error = error_;
+            error_ = nullptr;
+        }
+        if (error) std::rethrow_exception(error);
     }
 
 private:
-    /// Pops shards until none are left; runs each outside the mutex.
+    /// Pops shards until none are left (or an exception cancelled the
+    /// run); runs each outside the mutex.
     void drain(int worker) {
         std::unique_lock<std::mutex> lock{mutex_};
-        while (next_shard_ < shards_) {
+        while (worker < active_ && next_shard_ < shards_) {
             const int s = next_shard_++;
+            ++in_flight_;
             const auto* task = task_;
             lock.unlock();
-            (*task)(s, worker);
+            std::exception_ptr error;
+            try {
+                (*task)(s, worker);
+            } catch (...) {
+                error = std::current_exception();
+            }
             lock.lock();
-            if (--remaining_ == 0) done_.notify_all();
+            --in_flight_;
+            if (error) {
+                if (!error_) error_ = error;
+                next_shard_ = shards_;  // cancel shards not yet handed out
+            }
+            if (next_shard_ >= shards_ && in_flight_ == 0) done_.notify_all();
         }
     }
 
@@ -109,7 +161,9 @@ private:
         for (;;) {
             {
                 std::unique_lock<std::mutex> lock{mutex_};
-                wake_.wait(lock, [this] { return stop_ || next_shard_ < shards_; });
+                wake_.wait(lock, [this, worker] {
+                    return stop_ || (worker < active_ && next_shard_ < shards_);
+                });
                 if (stop_) return;
             }
             drain(worker);
@@ -124,7 +178,9 @@ private:
     const std::function<void(int, int)>* task_{nullptr};
     int next_shard_{0};
     int shards_{0};
-    int remaining_{0};
+    int active_{0};
+    int in_flight_{0};
+    std::exception_ptr error_;
     bool stop_{false};
 };
 

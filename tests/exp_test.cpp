@@ -5,8 +5,10 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <variant>
@@ -17,6 +19,7 @@
 #include "exp/scenarios.hpp"
 #include "exp/sweep.hpp"
 #include "exp/writer.hpp"
+#include "rng/rng.hpp"
 
 namespace {
 
@@ -382,7 +385,7 @@ TEST(RunPoint, AggregatesInReplicationOrder) {
 TEST(RunPoint, BitIdenticalAcrossThreadCounts) {
     const auto scenario = synthetic_scenario();
     std::vector<std::string> outputs;
-    for (const int threads : {1, 2, 7}) {
+    for (const int threads : {1, 4, 16}) {
         exp::RunOptions options;
         options.reps = 13;
         options.seed = 99;
@@ -425,13 +428,93 @@ TEST(RunPoint, BodyExceptionsPropagateFromWorkerThreads) {
         (void)p.get_int("a");
         throw std::invalid_argument("boom");
     };
-    for (const int threads : {1, 2, 7}) {
+    for (const int threads : {1, 4, 16}) {
         exp::RunOptions options;
         options.reps = 9;
         options.threads = threads;
         EXPECT_THROW((void)exp::run_point(scenario, {}, options), std::invalid_argument)
             << threads;
     }
+}
+
+TEST(RunSweep, PipelinedRecordsMatchPointwiseRuns) {
+    // The sweep feeds every (point, rep) unit through one pool pass; the
+    // emitted records must be byte-identical to running each point alone.
+    const auto scenario = synthetic_scenario();
+    exp::RunOptions options;
+    options.reps = 5;
+    options.threads = 4;
+    const auto sweep = exp::SweepSpec::parse("a=1,2,3;b=4,5");
+    std::ostringstream pipelined;
+    exp::JsonlWriter pipelined_writer{pipelined};
+    for (const auto& result : exp::run_sweep(scenario, sweep, options)) {
+        pipelined_writer.write(result);
+    }
+    std::ostringstream pointwise;
+    exp::JsonlWriter pointwise_writer{pointwise};
+    for (const auto& point : sweep.points()) {
+        pointwise_writer.write(exp::run_point(scenario, point, options));
+    }
+    EXPECT_EQ(pipelined.str(), pointwise.str());
+}
+
+TEST(RunSweep, SkewedWorkloadIsThreadInvariant) {
+    // One replication of one point runs ~100× longer than every other
+    // unit: under the old static strides that worker's whole stride (and
+    // under per-point barriers, every later point) waited on it. Dynamic
+    // sweep-level scheduling must leave the records byte-identical anyway.
+    auto scenario = synthetic_scenario();
+    const std::uint64_t slow_seed = rng::replication_seed(
+        exp::point_seed(exp::RunOptions{}.seed, scenario.name, {{"a", "1"}}), 0);
+    scenario.run_rep = [slow_seed](const exp::ScenarioParams& p, std::uint64_t seed) {
+        const long spins = seed == slow_seed ? 300000 : 3000;
+        double burn = 0.0;
+        for (long i = 0; i < spins; ++i) {
+            burn += static_cast<double>((seed >> (i % 32)) & 1U);
+        }
+        exp::Metrics m;
+        m["value"] = static_cast<double>(seed % 1000) + static_cast<double>(p.get_int("b"));
+        m["burn"] = burn >= 0.0 ? 1.0 : 0.0;
+        return m;
+    };
+    std::vector<std::string> outputs;
+    for (const int threads : {1, 4, 16}) {
+        exp::RunOptions options;
+        options.reps = 8;
+        options.threads = threads;
+        std::ostringstream os;
+        exp::JsonlWriter writer{os};
+        for (const auto& result :
+             exp::run_sweep(scenario, exp::SweepSpec::parse("a=1,2;b=3,4"), options)) {
+            writer.write(result);
+        }
+        outputs.push_back(os.str());
+    }
+    EXPECT_EQ(outputs[0], outputs[1]);
+    EXPECT_EQ(outputs[0], outputs[2]);
+}
+
+TEST(RunSweep, ProgressReportsEveryUnit) {
+    const auto scenario = synthetic_scenario();
+    exp::RunOptions options;
+    options.reps = 4;
+    options.threads = 4;
+    std::mutex mutex;
+    std::size_t calls = 0;
+    std::size_t max_done = 0;
+    std::size_t reported_total = 0;
+    options.on_progress = [&](std::size_t done, std::size_t total) {
+        std::lock_guard<std::mutex> lock{mutex};
+        ++calls;
+        if (done > max_done) max_done = done;
+        reported_total = total;
+    };
+    const auto results =
+        exp::run_sweep(scenario, exp::SweepSpec::parse("a=1,2,3"), options);
+    ASSERT_EQ(results.size(), 3U);
+    EXPECT_EQ(calls, 12U);           // 3 points × 4 reps, one call per unit
+    EXPECT_EQ(max_done, 12U);
+    EXPECT_EQ(reported_total, 12U);
 }
 
 TEST(JsonlWriter, RecordsMatchSchema) {
@@ -469,6 +552,9 @@ TEST(JsonlWriter, TimingsAreOptIn) {
     ASSERT_TRUE(record.has("timing"));
     EXPECT_GE(record.at("timing").at("wall_s").number(), 0.0);
     EXPECT_TRUE(record.at("timing").has("steps_per_s"));
+    // sweep_wall_s is the end-to-end wall clock of the pipelined pass this
+    // point was part of; wall_s sums per-replication cost.
+    EXPECT_GE(record.at("timing").at("sweep_wall_s").number(), 0.0);
 }
 
 TEST(JsonlWriter, EscapesAndNonFiniteNumbers) {
@@ -535,7 +621,7 @@ TEST(BuiltinScenarios, GridBroadcastIsThreadInvariant) {
     exp::register_builtin_scenarios();
     const auto& scenario = exp::ScenarioRegistry::instance().at("grid_broadcast");
     std::vector<std::string> outputs;
-    for (const int threads : {1, 2, 7}) {
+    for (const int threads : {1, 4, 16}) {
         exp::RunOptions options;
         options.reps = 5;
         options.threads = threads;

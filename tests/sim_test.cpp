@@ -3,6 +3,8 @@
 
 #include <cstdlib>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "sim/args.hpp"
@@ -59,6 +61,29 @@ TEST(Args, BadIntThrows) {
     auto argv = argv_of({"--n=abc"});
     Args args{static_cast<int>(argv.size()), argv.data()};
     EXPECT_THROW((void)args.get_int("n", 0), std::invalid_argument);
+}
+
+// Regression: std::stoll/stod accept trailing garbage, so "--reps=12abc"
+// used to silently parse as 12. Numeric options now demand that the whole
+// value is consumed and reject empty values.
+TEST(Args, TrailingGarbageRejected) {
+    for (const char* bad : {"--n=12abc", "--n=1.5", "--n=7 ", "--n=0x10", "--n="}) {
+        auto argv = argv_of({bad});
+        Args args{static_cast<int>(argv.size()), argv.data()};
+        EXPECT_THROW((void)args.get_int("n", 0), std::invalid_argument) << bad;
+    }
+    for (const char* bad : {"--alpha=1.5x", "--alpha=2.5e1q", "--alpha=1,5", "--alpha="}) {
+        auto argv = argv_of({bad});
+        Args args{static_cast<int>(argv.size()), argv.data()};
+        EXPECT_THROW((void)args.get_double("alpha", 0.0), std::invalid_argument) << bad;
+    }
+}
+
+TEST(Args, StrictParsingStillAcceptsFullNumbers) {
+    auto argv = argv_of({"--n=-12", "--alpha=2.5e-1"});
+    Args args{static_cast<int>(argv.size()), argv.data()};
+    EXPECT_EQ(args.get_int("n", 0), -12);
+    EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 0.25);
 }
 
 TEST(Args, UnknownKeyRejected) {
@@ -123,7 +148,8 @@ TEST(Args, ThreadsDefaultsToDefaultThreads) {
 }
 
 TEST(Args, ThreadsRejectsBadValues) {
-    for (const char* bad : {"--threads=0", "--threads=-2", "--threads=many"}) {
+    for (const char* bad : {"--threads=0", "--threads=-2", "--threads=many", "--threads=4x",
+                            "--threads=", "--threads=99999999999"}) {
         auto argv = argv_of({bad});
         Args args{static_cast<int>(argv.size()), argv.data()};
         EXPECT_THROW((void)args.threads(), std::invalid_argument) << bad;
@@ -203,6 +229,148 @@ TEST(Runner, ReplicationOrderIsDeterministicAtOneTwoSevenThreads) {
     for (const int threads : {2, 7}) {
         EXPECT_EQ(serial, run_replications(23, 2026, body, threads)) << threads;
     }
+}
+
+// Regression: run_replications used to spawn `threads` std::threads even
+// when reps < threads (idle workers per call). replication_workers clamps
+// to the work available and divides by SMN_STEP_THREADS so the
+// replication × step product never oversubscribes the thread budget.
+/// Pins SMN_STEP_THREADS for one test and restores the prior value on
+/// exit, so env-sensitive tests don't clobber a deliberately-set test
+/// environment (the tsan CI job runs the whole binary at
+/// SMN_STEP_THREADS=4).
+class ScopedStepThreads {
+public:
+    explicit ScopedStepThreads(const char* value) {
+        if (const char* old = std::getenv("SMN_STEP_THREADS")) saved_ = old;
+        if (value) {
+            setenv("SMN_STEP_THREADS", value, 1);
+        } else {
+            unsetenv("SMN_STEP_THREADS");
+        }
+    }
+    ~ScopedStepThreads() {
+        if (saved_.empty()) {
+            unsetenv("SMN_STEP_THREADS");
+        } else {
+            setenv("SMN_STEP_THREADS", saved_.c_str(), 1);
+        }
+    }
+
+private:
+    std::string saved_;
+};
+
+TEST(Runner, ReplicationWorkersClampsToReps) {
+    const ScopedStepThreads pin{nullptr};  // pin the env-sensitive divisor
+    EXPECT_EQ(replication_workers(16, 1), 1);
+    EXPECT_EQ(replication_workers(16, 3), 3);
+    EXPECT_EQ(replication_workers(4, 100), 4);
+    EXPECT_EQ(replication_workers(0, 10), 1);
+    EXPECT_EQ(replication_workers(-3, 10), 1);
+    EXPECT_EQ(replication_workers(8, 0), 1);
+}
+
+TEST(Runner, ReplicationWorkersDividesByStepThreads) {
+    {
+        const ScopedStepThreads pin{"4"};
+        EXPECT_EQ(replication_workers(8, 100), 2);  // 2 × 4 = the 8 requested
+        EXPECT_EQ(replication_workers(4, 100), 1);
+        EXPECT_EQ(replication_workers(2, 100), 1);  // never below 1
+        EXPECT_EQ(replication_workers(16, 3), 3);   // reps still clamp last
+    }
+    const ScopedStepThreads pin{nullptr};
+    EXPECT_EQ(replication_workers(8, 100), 8);
+}
+
+TEST(Runner, SingleRepAtManyThreads) {
+    // reps=1 exercises the clamped pool path: one unit, one worker.
+    const auto results = run_replications(
+        1, 77, [](int rep, std::uint64_t) { return static_cast<double>(rep + 41); }, 16);
+    ASSERT_EQ(results.size(), 1U);
+    EXPECT_DOUBLE_EQ(results[0], 41.0);
+}
+
+TEST(Runner, StructuredResultsThroughTypedApi) {
+    struct RepOutcome {
+        double value{0.0};
+        std::uint64_t seed{0};
+        int rep{-1};
+    };
+    const auto results = run_replications_as<RepOutcome>(
+        12, 31,
+        [](int rep, std::uint64_t seed) {
+            return RepOutcome{static_cast<double>(rep) * 2.0, seed, rep};
+        },
+        4);
+    ASSERT_EQ(results.size(), 12U);
+    for (int rep = 0; rep < 12; ++rep) {
+        const auto& outcome = results[static_cast<std::size_t>(rep)];
+        EXPECT_EQ(outcome.rep, rep);
+        EXPECT_DOUBLE_EQ(outcome.value, rep * 2.0);
+        EXPECT_EQ(outcome.seed, rng::replication_seed(31, static_cast<std::uint64_t>(rep)));
+    }
+}
+
+TEST(Runner, BodyExceptionSurfacesOnCallerThread) {
+    // A throwing body used to hit std::terminate inside a raw std::thread;
+    // the pool now captures it and rethrows here, at any thread count.
+    for (const int threads : {1, 4, 16}) {
+        EXPECT_THROW((void)run_replications(
+                         9, 3,
+                         [](int rep, std::uint64_t) -> double {
+                             if (rep == 4) throw std::runtime_error("rep 4 boom");
+                             return 0.0;
+                         },
+                         threads),
+                     std::runtime_error)
+            << threads;
+    }
+}
+
+TEST(Runner, SkewedWorkloadIsThreadInvariant) {
+    // One replication ~100× slower than its siblings: dynamic scheduling
+    // must not change any result slot.
+    const auto body = [](int rep, std::uint64_t seed) {
+        rng::Rng rng{seed};
+        const int spins = rep == 0 ? 200000 : 2000;
+        double total = 0.0;
+        for (int i = 0; i < spins; ++i) total += rng.uniform();
+        return total;
+    };
+    const auto serial = run_replications(16, 555, body, 1);
+    for (const int threads : {4, 16}) {
+        EXPECT_EQ(serial, run_replications(16, 555, body, threads)) << threads;
+    }
+}
+
+TEST(Runner, PersistentPoolSurvivesManyCalls) {
+    // Back-to-back calls reuse the shared pool's workers; results stay
+    // deterministic call after call.
+    const auto body = [](int rep, std::uint64_t seed) {
+        return static_cast<double>(seed % 1000 + static_cast<std::uint64_t>(rep));
+    };
+    const auto expected = run_replications(10, 1234, body, 1);
+    for (int round = 0; round < 25; ++round) {
+        EXPECT_EQ(expected, run_replications(10, 1234, body, 4)) << round;
+    }
+}
+
+TEST(Runner, NestedReplicationsRunInline) {
+    // A body that itself runs replications must not deadlock on the shared
+    // pool: the inner call detects the busy pool and runs inline.
+    const auto results = run_replications(
+        6, 9,
+        [](int, std::uint64_t seed) {
+            const auto inner = run_replications(
+                4, seed, [](int rep, std::uint64_t) { return static_cast<double>(rep); }, 4);
+            double total = 0.0;
+            for (const double v : inner) total += v;
+            return total;
+        },
+        4);
+    ASSERT_EQ(results.size(), 6U);
+    for (const double v : results) EXPECT_DOUBLE_EQ(v, 6.0);
 }
 
 TEST(Runner, SmnThreadsEnvironmentOverride) {

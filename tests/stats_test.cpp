@@ -95,6 +95,27 @@ TEST(Sample, MedianOddAndEven) {
     EXPECT_DOUBLE_EQ(even.median(), 2.5);
 }
 
+// Regression: quantile()/median() used to sort values_ in place, so
+// values() silently flipped from replication order to sorted order after
+// any quantile query. Order statistics now sort a separate buffer.
+TEST(Sample, ValuesKeepInsertionOrderAfterMedian) {
+    Sample s;
+    const std::vector<double> inserted{5.0, 1.0, 4.0, 2.0, 3.0};
+    for (const double x : inserted) s.add(x);
+    EXPECT_DOUBLE_EQ(s.median(), 3.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+    const auto values = s.values();
+    ASSERT_EQ(values.size(), inserted.size());
+    for (std::size_t i = 0; i < inserted.size(); ++i) {
+        EXPECT_DOUBLE_EQ(values[i], inserted[i]) << i;
+    }
+    // Interleaved add() calls keep both views consistent.
+    s.add(0.5);
+    EXPECT_DOUBLE_EQ(s.min(), 0.5);
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.5);
+    EXPECT_DOUBLE_EQ(s.values().back(), 0.5);
+}
+
 TEST(Sample, AddAfterQuantileStillWorks) {
     Sample s;
     s.add(1.0);

@@ -13,10 +13,15 @@
 //   smn_lab --scenario=gossip --sweep="side=24;k=8,16,32" --reps=20
 //           --threads=8 --out=results/gossip.jsonl
 //   smn_lab --scenario=churn --format=csv
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -49,6 +54,64 @@ void list_scenarios(const sim::Args& args) {
     }
 }
 
+/// Replication progress + ETA on stderr. The runner's on_progress hook
+/// fires from worker threads, so updates serialize on a mutex; prints are
+/// throttled to ~4/s (plus the final one) and rewrite one line on a TTY.
+class ProgressReporter {
+public:
+    explicit ProgressReporter(bool tty) : tty_{tty} {}
+
+    /// Arms the reporter for one sweep (resets the clock and label).
+    void begin(const std::string& label) {
+        std::lock_guard<std::mutex> lock{mutex_};
+        label_ = label;
+        start_ = clock::now();
+        last_print_ = start_ - std::chrono::hours{1};
+    }
+
+    void update(std::size_t done, std::size_t total) {
+        std::lock_guard<std::mutex> lock{mutex_};
+        const auto now = clock::now();
+        if (done != total && now - last_print_ < std::chrono::milliseconds{250}) return;
+        last_print_ = now;
+        const double elapsed = std::chrono::duration<double>(now - start_).count();
+        std::string line = "[smn_lab] " + label_ + ": " + std::to_string(done) + "/" +
+                           std::to_string(total) + " reps";
+        if (done > 0 && done < total) {
+            const double eta =
+                elapsed * static_cast<double>(total - done) / static_cast<double>(done);
+            line += " (ETA " + format_seconds(eta) + ")";
+        } else if (done == total) {
+            line += " (" + format_seconds(elapsed) + ")";
+        }
+        if (tty_) {
+            std::cerr << '\r' << line << "\033[K" << (done == total ? "\n" : "") << std::flush;
+        } else if (done == total) {
+            std::cerr << line << "\n";  // non-TTY (CI logs): one line per sweep
+        }
+    }
+
+private:
+    using clock = std::chrono::steady_clock;
+
+    static std::string format_seconds(double seconds) {
+        char buf[32];
+        if (seconds >= 90.0) {
+            std::snprintf(buf, sizeof buf, "%dm%02ds", static_cast<int>(seconds) / 60,
+                          static_cast<int>(seconds) % 60);
+        } else {
+            std::snprintf(buf, sizeof buf, "%.1fs", seconds);
+        }
+        return buf;
+    }
+
+    std::mutex mutex_;
+    std::string label_;
+    clock::time_point start_{};
+    clock::time_point last_print_{};
+    bool tty_;
+};
+
 std::vector<std::string> split_names(const std::string& text) {
     std::vector<std::string> names;
     std::size_t start = 0;
@@ -70,6 +133,10 @@ int run(int argc, char** argv) {
     const std::string out_path = args.get_string("out", "-");
     std::string format = args.get_string("format", "");
     const bool timings = args.get_flag("timings");
+    // Progress/ETA: on for interactive runs, opt-in (--progress) for
+    // redirected ones, opt-out (--no-progress) everywhere.
+    const bool force_progress = args.get_flag("progress");
+    const bool no_progress = args.get_flag("no-progress");
 
     exp::RunOptions options;
     options.quick = args.quick();
@@ -114,6 +181,14 @@ int run(int argc, char** argv) {
     exp::JsonlWriter jsonl{os, timings};
     exp::CsvWriter csv{os, timings};
 
+    const bool tty = isatty(fileno(stderr)) != 0;
+    ProgressReporter progress{tty};
+    if ((tty || force_progress) && !no_progress) {
+        options.on_progress = [&progress](std::size_t done, std::size_t total) {
+            progress.update(done, total);
+        };
+    }
+
     for (const auto* scenario : selected) {
         const std::string sweep_text =
             !sweep_arg.empty() ? sweep_arg
@@ -123,6 +198,7 @@ int run(int argc, char** argv) {
         std::cerr << "[smn_lab] " << scenario->name << ": " << sweep.size()
                   << " point(s) x " << options.reps << " rep(s), sweep \"" << sweep_text
                   << "\"\n";
+        progress.begin(scenario->name);
         for (const auto& result : exp::run_sweep(*scenario, sweep, options)) {
             if (format == "csv") {
                 csv.write(result);
