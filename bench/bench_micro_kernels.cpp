@@ -7,14 +7,17 @@
 // (O(k) expected per time step at sparse densities).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "core/engine.hpp"
+#include "graph/range_filter.hpp"
 #include "graph/visibility.hpp"
 #include "grid/grid.hpp"
 #include "rng/rng.hpp"
 #include "spatial/bucket_index.hpp"
 #include "spatial/occupancy.hpp"
+#include "walk/decode.hpp"
 #include "walk/ensemble.hpp"
 
 namespace {
@@ -99,6 +102,66 @@ void BM_ComponentStats(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_ComponentStats)->Arg(256)->Arg(4096);
+
+// ------------------------------------------------- vectorized kernel diffs
+//
+// The two PR-6 kernels, each timed against its always-scalar reference so
+// one binary shows the backend's speedup (or, on a force-scalar build,
+// confirms parity). Both pairs process identical inputs; the references
+// are the same functions the bit-identity suites diff against.
+
+void BM_WalkDecode5(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    rng::Rng rng{7};
+    std::vector<std::uint64_t> words(n);
+    for (auto& w : words) w = rng.next_u64();
+    std::vector<std::int32_t> draws(n);
+    const bool scalar = state.range(1) != 0;
+    for (auto _ : state) {
+        const bool ok = scalar ? walk::decode_draws5_scalar(words.data(), n, draws.data())
+                               : walk::decode_draws5(words.data(), n, draws.data());
+        benchmark::DoNotOptimize(ok);
+        benchmark::DoNotOptimize(draws.data());
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+    state.SetLabel(scalar ? "scalar-ref" : "backend");
+}
+BENCHMARK(BM_WalkDecode5)->Args({4096, 0})->Args({4096, 1});
+
+void BM_InRangeMask(benchmark::State& state) {
+    // Candidate slices shaped like the dense-scan reality at percolation
+    // occupancy: short runs (the count argument) over padded SoA rows.
+    const auto count = static_cast<std::size_t>(state.range(0));
+    const bool scalar = state.range(1) != 0;
+    const auto g = grid::Grid2D::square(256);
+    rng::Rng rng{8};
+    constexpr std::size_t kProbes = 4096;
+    std::vector<std::int32_t> xs(kProbes + graph::kRangePad);
+    std::vector<std::int32_t> ys(kProbes + graph::kRangePad);
+    for (std::size_t i = 0; i < kProbes; ++i) {
+        xs[i] = static_cast<std::int32_t>(rng.below(256));
+        ys[i] = static_cast<std::int32_t>(rng.below(256));
+    }
+    constexpr auto kMetric = grid::Metric::kChebyshev;
+    for (auto _ : state) {
+        std::uint32_t acc = 0;
+        for (std::size_t at = 0; at + count <= kProbes; at += count) {
+            acc ^= scalar ? graph::in_range_mask8_scalar<kMetric>(xs.data() + at, ys.data() + at,
+                                                                  count, 128, 128, 4)
+                          : graph::in_range_mask8<kMetric>(xs.data() + at, ys.data() + at, count,
+                                                           128, 128, 4);
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kProbes / count * count));
+    state.SetLabel(scalar ? "scalar-ref" : "backend");
+}
+BENCHMARK(BM_InRangeMask)
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({8, 0})
+    ->Args({8, 1});
 
 void BM_EngineStep(benchmark::State& state) {
     const auto k = static_cast<std::int32_t>(state.range(0));

@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# check_doc_commands.sh — execute the fenced `smn_lab` / `ctest` commands
+# embedded in the docs against a real build, so a renamed scenario, a
+# removed flag, or a changed sweep grammar fails CI instead of a reader.
+#
+# What it runs, from every ```sh fence in the given docs (backslash
+# continuations joined):
+#   * `./build/smn_lab ...` lines — re-rooted at the given build dir, with
+#     any `--reps/--threads/--out` replaced by cheap values and
+#     `--no-progress` appended. This validates the scenario names, sweep
+#     grammar and flags the docs advertise without paying for the full
+#     statistical runs the docs describe.
+#   * `ctest ...` lines — re-rooted at the build dir. Commands without an
+#     -L/-R filter only list (-N): the full suite already has its own CI
+#     job; here we only need the invocation to be valid.
+# Other fenced commands (cmake, bench binaries, presets) are covered by
+# dedicated CI steps and are skipped here.
+#
+# Usage: scripts/check_doc_commands.sh [build-dir] [doc.md ...]
+set -euo pipefail
+
+build_dir="${1:-build}"
+shift || true
+docs=("$@")
+if [ "${#docs[@]}" -eq 0 ]; then
+    docs=(README.md docs/architecture.md docs/experiments.md docs/performance.md)
+fi
+
+if [ ! -x "${build_dir}/smn_lab" ]; then
+    echo "check_doc_commands: ${build_dir}/smn_lab not found (build first)" >&2
+    exit 1
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "${tmp}"' EXIT
+
+# Prints the fenced-sh command lines of a doc, one logical command per
+# line: keeps ```sh blocks only, joins backslash continuations, drops
+# comments/blank lines.
+extract_commands() {
+    awk '
+        /^```sh[[:space:]]*$/ { in_block = 1; next }
+        /^```/                { in_block = 0; next }
+        in_block {
+            line = $0
+            sub(/^[[:space:]]+/, "", line)
+            if (line == "" || line ~ /^#/) next
+            while (line ~ /\\$/) {
+                sub(/\\$/, " ", line)
+                if ((getline cont) <= 0) break
+                sub(/^[[:space:]]+/, "", cont)
+                line = line cont
+            }
+            sub(/[[:space:]]+#.*$/, "", line)  # trailing inline comment
+            print line
+        }
+    ' "$1"
+}
+
+checked=0
+failed=0
+for doc in "${docs[@]}"; do
+    [ -f "${doc}" ] || { echo "check_doc_commands: missing doc ${doc}" >&2; exit 1; }
+    while IFS= read -r cmd; do
+        case "${cmd}" in
+            ./build/smn_lab\ *|"${build_dir}"/smn_lab\ *)
+                # Re-root, strip the expensive knobs, substitute cheap ones.
+                run="${cmd/#.\/build\//${build_dir}/}"
+                # eval splits the doc line with real shell quoting rules
+                # (the sweep strings are quoted); the docs are repo content,
+                # the same trust domain as this script.
+                eval "raw=( ${run#* } )"
+                args=()
+                for arg in "${raw[@]}"; do
+                    case "${arg}" in
+                        --reps=*|--threads=*|--out=*|--progress|--no-progress) ;;
+                        *) args+=("${arg}") ;;
+                    esac
+                done
+                run_cmd=("${build_dir}/smn_lab" "${args[@]}" --reps=1 --threads=2 \
+                         --no-progress --out="${tmp}/doc_cmd.out")
+                ;;
+            ctest\ *)
+                run="${cmd/--test-dir build/--test-dir ${build_dir}}"
+                if [[ "${run}" != *" -L "* && "${run}" != *" -R "* ]]; then
+                    run="${run} -N"
+                fi
+                eval "run_cmd=( ${run} )"
+                ;;
+            *)
+                continue
+                ;;
+        esac
+        checked=$((checked + 1))
+        echo "[check_doc_commands] ${doc}: ${cmd}"
+        if ! "${run_cmd[@]}" > "${tmp}/last.log" 2>&1; then
+            failed=$((failed + 1))
+            echo "FAILED: ${cmd}" >&2
+            echo "  (from ${doc}; ran as: ${run_cmd[*]})" >&2
+            tail -20 "${tmp}/last.log" | sed 's/^/  | /' >&2
+        fi
+    done < <(extract_commands "${doc}")
+done
+
+if [ "${failed}" -gt 0 ]; then
+    echo "check_doc_commands: ${failed}/${checked} doc command(s) failed" >&2
+    exit 1
+fi
+echo "check_doc_commands: ${checked} doc command(s) OK"

@@ -10,7 +10,7 @@
 set -euo pipefail
 
 build_dir="${1:-build}"
-out_json="${2:-results/BENCH_PR5.json}"
+out_json="${2:-results/BENCH_PR6.json}"
 baseline_json="${3:-}"
 
 out_dir="$(dirname "${out_json}")"

@@ -44,6 +44,13 @@ public:
 
     /// Merges the sets of a and b; returns true if they were distinct.
     bool unite(std::int32_t a, std::int32_t b) noexcept {
+        // Equal direct parents ⇒ same set already; skip both finds. Pure
+        // fast path: a full call on a same-set pair changes no links that
+        // affect any root (path halving never moves a root), so the
+        // resulting partition — and every find() — is identical.
+        if (parent_[static_cast<std::size_t>(a)] == parent_[static_cast<std::size_t>(b)]) {
+            return false;
+        }
         auto ra = find(a);
         auto rb = find(b);
         if (ra == rb) return false;
@@ -54,6 +61,27 @@ public:
         size_[static_cast<std::size_t>(ra)] += size_[static_cast<std::size_t>(rb)];
         --set_count_;
         return true;
+    }
+
+    /// unite() for callers that already hold a's current root (e.g. a flush
+    /// loop draining runs of pairs that share their a side): performs
+    /// exactly the structural links unite(a, b) would, skipping the
+    /// redundant find(a), and returns the merged set's root — which is a's
+    /// root for the caller to carry into the next call of the run.
+    [[nodiscard]] std::int32_t unite_root(std::int32_t ra, std::int32_t b) noexcept {
+        assert(parent_[static_cast<std::size_t>(ra)] == ra && "unite_root: ra is not a root");
+        if (parent_[static_cast<std::size_t>(b)] == ra) return ra;  // already under ra
+        const auto rb = find(b);
+        if (ra == rb) return ra;
+        --set_count_;
+        if (size_[static_cast<std::size_t>(ra)] < size_[static_cast<std::size_t>(rb)]) {
+            parent_[static_cast<std::size_t>(ra)] = rb;
+            size_[static_cast<std::size_t>(rb)] += size_[static_cast<std::size_t>(ra)];
+            return rb;
+        }
+        parent_[static_cast<std::size_t>(rb)] = ra;
+        size_[static_cast<std::size_t>(ra)] += size_[static_cast<std::size_t>(rb)];
+        return ra;
     }
 
     /// True iff a and b are currently in the same set.

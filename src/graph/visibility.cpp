@@ -1,8 +1,12 @@
 #include "graph/visibility.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <chrono>
+#include <limits>
+
+#include "graph/range_filter.hpp"
 
 namespace smn::graph {
 namespace {
@@ -38,6 +42,8 @@ VisibilityGraphBuilder::VisibilityGraphBuilder(const grid::Grid2D& grid, std::in
                                                grid::Metric metric)
     : grid_{grid},
       radius_{radius},
+      rad32_{static_cast<grid::Coord>(
+          std::min<std::int64_t>(radius, std::numeric_limits<grid::Coord>::max()))},
       metric_{metric},
       occupancy_{grid},
       buckets_{spatial::BucketIndex::for_radius(grid, radius)},
@@ -269,6 +275,9 @@ void VisibilityGraphBuilder::scan_unit(std::int64_t bucket,
         scratch.ys.push_back(p.y);
     });
     const auto len = scratch.ids.size();
+    // Padding owed to the masked in-range kernel (range_filter.hpp).
+    scratch.xs.resize(len + kRangePad);
+    scratch.ys.resize(len + kRangePad);
 
     const auto found = [&](std::int32_t a, std::int32_t b) {
         record_pair<kFilter>(scratch, a, b, out, dsu);
@@ -285,13 +294,18 @@ void VisibilityGraphBuilder::scan_unit(std::int64_t bucket,
         }
     }
 
-    /// Pairs the gathered slice against one forward neighbor's list.
+    /// Pairs the gathered slice against one forward neighbor's list: one
+    /// masked in-range test per ≤8-lane chunk of the slice, survivors
+    /// iterated in ascending lane order (= the scalar scan order).
     const auto cross = [&](std::int64_t nb) {
         buckets_.for_each_in_bucket(nb, [&](std::int32_t b) {
             const auto p = positions[static_cast<std::size_t>(b)];
-            for (std::size_t i = 0; i < len; ++i) {
-                if (within_coords<M>(scratch.xs[i], scratch.ys[i], p.x, p.y, radius_)) {
-                    found(scratch.ids[i], b);
+            for (std::size_t i = 0; i < len; i += kRangeLanes) {
+                auto bits = in_range_mask8<M>(scratch.xs.data() + i, scratch.ys.data() + i,
+                                              std::min(kRangeLanes, len - i), p.x, p.y, rad32_);
+                for (; bits != 0; bits &= bits - 1) {
+                    const auto lane = static_cast<std::size_t>(std::countr_zero(bits));
+                    found(scratch.ids[i + lane], b);
                 }
             }
         });
@@ -356,16 +370,20 @@ void VisibilityGraphBuilder::gather_row(grid::Coord row, std::span<const grid::P
     const auto bx_count = buckets_.buckets_x();
     buf.off.resize(static_cast<std::size_t>(bx_count) + 1);
     // Sized once for the worst case (every agent in one row); the writes
-    // below are then unchecked index stores instead of push_backs.
-    if (buf.ids.size() < positions.size()) {
-        buf.ids.resize(positions.size());
-        buf.xs.resize(positions.size());
-        buf.ys.resize(positions.size());
+    // below are then unchecked index stores instead of push_backs. The
+    // extra kRangePad elements honor the masked in-range kernel's padding
+    // contract (range_filter.hpp).
+    if (buf.ids.size() < positions.size() + kRangePad) {
+        buf.ids.resize(positions.size() + kRangePad);
+        buf.xs.resize(positions.size() + kRangePad);
+        buf.ys.resize(positions.size() + kRangePad);
     }
     const auto base = std::int64_t{row} * bx_count;
+    buf.occ.clear();
     std::int32_t n = 0;
     for (grid::Coord bx = 0; bx < bx_count; ++bx) {
-        buf.off[static_cast<std::size_t>(bx)] = n;
+        const auto start = n;
+        buf.off[static_cast<std::size_t>(bx)] = start;
         buckets_.for_each_in_bucket(base + bx, [&](std::int32_t a) {
             const auto p = positions[static_cast<std::size_t>(a)];
             const auto slot = static_cast<std::size_t>(n++);
@@ -373,6 +391,7 @@ void VisibilityGraphBuilder::gather_row(grid::Coord row, std::span<const grid::P
             buf.xs[slot] = p.x;
             buf.ys[slot] = p.y;
         });
+        if (n != start) buf.occ.push_back(bx);
     }
     buf.off[static_cast<std::size_t>(bx_count)] = n;
 }
@@ -409,18 +428,23 @@ void VisibilityGraphBuilder::scan_unit_window(const RowBuffer& self_row,
     /// neighbor-member outer — row buffers are bucket-ordered, so the
     /// merged SW|S|SE range enumerates members in exactly the order the
     /// per-bucket cross calls of scan_unit do (thread invariance depends
-    /// on this).
+    /// on this). Both shapes run the masked in-range kernel
+    /// (range_filter.hpp) and walk the survivor bits in ascending lane
+    /// order, so the pair order matches the scalar loops they replaced.
     const auto cross_range = [&](const RowBuffer& row, std::size_t noff, std::size_t nend) {
         if (end - off == 1) {
             // Single-occupant unit (the most common bucket at percolation
-            // occupancy): hoist the self coords; enumeration order over j
-            // is unchanged.
+            // occupancy): hoist the self coords and sweep the neighbor
+            // range 8 candidates per test.
             const auto xi = self_row.xs[off];
             const auto yi = self_row.ys[off];
             const auto id = self_row.ids[off];
-            for (std::size_t j = noff; j < nend; ++j) {
-                if (within_coords<M>(xi, yi, row.xs[j], row.ys[j], radius_)) {
-                    found(id, row.ids[j]);
+            for (std::size_t j = noff; j < nend; j += kRangeLanes) {
+                auto bits = in_range_mask8<M>(row.xs.data() + j, row.ys.data() + j,
+                                              std::min(kRangeLanes, nend - j), xi, yi, rad32_);
+                for (; bits != 0; bits &= bits - 1) {
+                    const auto lane = static_cast<std::size_t>(std::countr_zero(bits));
+                    found(id, row.ids[j + lane]);
                 }
             }
             return;
@@ -428,9 +452,14 @@ void VisibilityGraphBuilder::scan_unit_window(const RowBuffer& self_row,
         for (std::size_t j = noff; j < nend; ++j) {
             const auto xj = row.xs[j];
             const auto yj = row.ys[j];
-            for (std::size_t i = off; i < end; ++i) {
-                if (within_coords<M>(self_row.xs[i], self_row.ys[i], xj, yj, radius_)) {
-                    found(self_row.ids[i], row.ids[j]);
+            const auto idj = row.ids[j];
+            for (std::size_t i = off; i < end; i += kRangeLanes) {
+                auto bits =
+                    in_range_mask8<M>(self_row.xs.data() + i, self_row.ys.data() + i,
+                                      std::min(kRangeLanes, end - i), xj, yj, rad32_);
+                for (; bits != 0; bits &= bits - 1) {
+                    const auto lane = static_cast<std::size_t>(std::countr_zero(bits));
+                    found(self_row.ids[i + lane], idj);
                 }
             }
         }
@@ -462,6 +491,7 @@ void VisibilityGraphBuilder::row_window_pass(std::span<const grid::Point> positi
     const auto bx_count = buckets_.buckets_x();
     const auto by_count = buckets_.buckets_y();
     gather_row(0, positions, rows_[0]);
+    std::int64_t units = 0;
     for (grid::Coord row = 0; row < by_count; ++row) {
         auto& self_row = rows_[static_cast<std::size_t>(row & 1)];
         RowBuffer* south_row = nullptr;
@@ -470,22 +500,130 @@ void VisibilityGraphBuilder::row_window_pass(std::span<const grid::Point> positi
             gather_row(row + 1, positions, *south_row);
         }
         const auto base = std::int64_t{row} * bx_count;
-        for (grid::Coord bx = 0; bx < bx_count; ++bx) {
-            if (self_row.off[static_cast<std::size_t>(bx)] ==
-                self_row.off[static_cast<std::size_t>(bx) + 1]) {
-                continue;  // empty bucket — not a unit
+        if constexpr (!kBypass) {
+            for (const auto bx : self_row.occ) {
+                replay_or_rescan(base + bx, force_rescan, dsu,
+                                 [&](std::vector<CachedEdge>& arena_out) {
+                                     scan_unit_window<M, true>(self_row, south_row, bx, scratch,
+                                                               &arena_out, &dsu);
+                                 });
             }
-            const auto b = base + bx;
-            if constexpr (kBypass) {
-                ++rescanned_units_;
-                scan_unit_window<M, false>(self_row, south_row, bx, scratch, nullptr, &dsu);
-                continue;
+        } else {
+            // Bypass: enumerate the row's pairs into the staging arrays —
+            // same pairs in the same order as scan_unit / scan_unit_window
+            // (mask-compress keeps the ascending lane order), but with the
+            // branchy survivor walks and DSU unions hoisted out of the
+            // per-unit control flow. One tight union loop then drains the
+            // row, preserving the global union sequence.
+            units += static_cast<std::int64_t>(self_row.occ.size());
+            std::size_t np = 0;
+            const auto grown = [&](std::size_t need) {
+                if (pair_a_.size() < need) {
+                    pair_a_.resize(need * 2);
+                    pair_b_.resize(need * 2);
+                }
+            };
+            for (const auto bx : self_row.occ) {
+                const auto o =
+                    static_cast<std::size_t>(self_row.off[static_cast<std::size_t>(bx)]);
+                const auto e =
+                    static_cast<std::size_t>(self_row.off[static_cast<std::size_t>(bx) + 1]);
+                if (e - o == 1) {
+                    // Single-occupant unit, the common bucket at percolation
+                    // occupancy: two masked sweeps, E then the merged
+                    // SW|S|SE range, against the hoisted self point.
+                    const auto xi = self_row.xs[o];
+                    const auto yi = self_row.ys[o];
+                    const auto id = self_row.ids[o];
+                    const auto sweep = [&](const RowBuffer& nrow, std::size_t j0,
+                                           std::size_t j1) {
+                        for (std::size_t j = j0; j < j1; j += kRangeLanes) {
+                            const auto bits =
+                                in_range_mask8<M>(nrow.xs.data() + j, nrow.ys.data() + j,
+                                                  std::min(kRangeLanes, j1 - j), xi, yi, rad32_);
+                            grown(np + kRangeLanes);
+                            util::simd::I32x8::splat(id).store(pair_a_.data() + np);
+                            np += compress_store8(bits, nrow.ids.data() + j,
+                                                  pair_b_.data() + np);
+                        }
+                    };
+                    if (bx + 1 < bx_count) {
+                        sweep(self_row, e,
+                              static_cast<std::size_t>(
+                                  self_row.off[static_cast<std::size_t>(bx) + 2]));
+                    }
+                    if (south_row != nullptr) {
+                        const auto lo = static_cast<std::size_t>(bx > 0 ? bx - 1 : 0);
+                        const auto hi = static_cast<std::size_t>(bx + 1 < bx_count ? bx + 2
+                                                                                   : bx + 1);
+                        sweep(*south_row, static_cast<std::size_t>(south_row->off[lo]),
+                              static_cast<std::size_t>(south_row->off[hi]));
+                    }
+                } else {
+                    // Multi-occupant unit: scalar self pairs, then the
+                    // neighbor-member-outer masked sweeps over the self
+                    // slice — the general cross_range shape.
+                    for (std::size_t i = o; i + 1 < e; ++i) {
+                        const auto xi = self_row.xs[i];
+                        const auto yi = self_row.ys[i];
+                        for (std::size_t j = i + 1; j < e; ++j) {
+                            if (within_coords<M>(xi, yi, self_row.xs[j], self_row.ys[j],
+                                                 radius_)) {
+                                grown(np + 1);
+                                pair_a_[np] = self_row.ids[i];
+                                pair_b_[np] = self_row.ids[j];
+                                ++np;
+                            }
+                        }
+                    }
+                    const auto cross = [&](const RowBuffer& nrow, std::size_t j0,
+                                           std::size_t j1) {
+                        for (std::size_t j = j0; j < j1; ++j) {
+                            const auto xj = nrow.xs[j];
+                            const auto yj = nrow.ys[j];
+                            const auto idj = nrow.ids[j];
+                            for (std::size_t i = o; i < e; i += kRangeLanes) {
+                                const auto bits = in_range_mask8<M>(
+                                    self_row.xs.data() + i, self_row.ys.data() + i,
+                                    std::min(kRangeLanes, e - i), xj, yj, rad32_);
+                                grown(np + kRangeLanes);
+                                util::simd::I32x8::splat(idj).store(pair_b_.data() + np);
+                                np += compress_store8(bits, self_row.ids.data() + i,
+                                                      pair_a_.data() + np);
+                            }
+                        }
+                    };
+                    if (bx + 1 < bx_count) {
+                        cross(self_row, e,
+                              static_cast<std::size_t>(
+                                  self_row.off[static_cast<std::size_t>(bx) + 2]));
+                    }
+                    if (south_row != nullptr) {
+                        const auto lo = static_cast<std::size_t>(bx > 0 ? bx - 1 : 0);
+                        const auto hi = static_cast<std::size_t>(bx + 1 < bx_count ? bx + 2
+                                                                                   : bx + 1);
+                        cross(*south_row, static_cast<std::size_t>(south_row->off[lo]),
+                              static_cast<std::size_t>(south_row->off[hi]));
+                    }
+                }
             }
-            replay_or_rescan(b, force_rescan, dsu, [&](std::vector<CachedEdge>& arena_out) {
-                scan_unit_window<M, true>(self_row, south_row, bx, scratch, &arena_out, &dsu);
-            });
+            // The staged pairs arrive in runs sharing their a side (one
+            // sweep's survivors splat the same id), so a's root is found
+            // once per run and carried through unite_root — the same link
+            // sequence unite() would produce, minus the repeated finds.
+            std::int32_t last_a = -1;
+            std::int32_t root_a = -1;
+            for (std::size_t i = 0; i < np; ++i) {
+                const auto a = pair_a_[i];
+                if (a != last_a) {
+                    last_a = a;
+                    root_a = dsu.find(a);
+                }
+                root_a = dsu.unite_root(root_a, pair_b_[i]);
+            }
         }
     }
+    if constexpr (kBypass) rescanned_units_ += units;
 }
 
 /// The sharded pass: units_ is partitioned into contiguous row-major

@@ -165,6 +165,7 @@ private:
         std::vector<std::int32_t> ids;
         std::vector<grid::Coord> xs;
         std::vector<grid::Coord> ys;
+        std::vector<grid::Coord> occ;  ///< the row's occupied bx, ascending
     };
 
     void component_pass(std::span<const grid::Point> positions, DisjointSets& dsu,
@@ -229,6 +230,7 @@ private:
 
     grid::Grid2D grid_;
     std::int64_t radius_;
+    grid::Coord rad32_;  ///< radius clamped to int32 for the lane kernels
     grid::Metric metric_;
     spatial::OccupancyMap occupancy_;  ///< used when radius == 0
     spatial::BucketIndex buckets_;     ///< used when radius >= 1
@@ -255,6 +257,8 @@ private:
     std::unique_ptr<util::WorkerPool> pool_;
     std::vector<std::int64_t> units_;   ///< occupied buckets, row-major order
     RowBuffer rows_[2];                 ///< rolling window of the serial scan
+    std::vector<std::int32_t> pair_a_;  ///< bypass pair staging, first ids
+    std::vector<std::int32_t> pair_b_;  ///< bypass pair staging, second ids
     std::vector<ScanScratch> scratch_;  ///< per worker (index 0 on the serial path)
     std::vector<ShardOutput> shard_out_;                         ///< per shard
     std::vector<std::pair<std::int32_t, std::int32_t>> shards_;  ///< [begin,end) in units_

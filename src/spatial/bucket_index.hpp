@@ -34,6 +34,7 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <span>
@@ -57,6 +58,11 @@ public:
         }
         buckets_x_ = (grid.width() + bucket_side - 1) / bucket_side;
         buckets_y_ = (grid.height() + bucket_side - 1) / bucket_side;
+        // Power-of-two bucket side (the common for_radius outcome at the
+        // tracked scales): axis -> bucket is a single shift in move().
+        if ((bucket_side & (bucket_side - 1)) == 0) {
+            side_shift_ = std::countr_zero(static_cast<std::uint32_t>(bucket_side));
+        }
         const auto bucket_count = static_cast<std::size_t>(std::int64_t{buckets_x_} * buckets_y_);
         head_.assign(bucket_count, -1);
         where_.assign(bucket_count, -1);
@@ -150,10 +156,17 @@ public:
         (void)from;
         const auto bx = agent_bx_[a];
         const auto by = agent_by_[a];
-        // Adjacent-bucket fast path (multiplications only); division
-        // fallback for teleports spanning several buckets.
-        const auto nbx = shift_bucket(bx, to.x);
-        const auto nby = shift_bucket(by, to.y);
+        // Power-of-two sides map an axis to its bucket with one shift;
+        // otherwise the adjacent-bucket fast path (multiplications only)
+        // with a division fallback for teleports spanning several buckets.
+        grid::Coord nbx, nby;
+        if (side_shift_ >= 0) {
+            nbx = to.x >> side_shift_;
+            nby = to.y >> side_shift_;
+        } else {
+            nbx = shift_bucket(bx, to.x);
+            nby = shift_bucket(by, to.y);
+        }
         mark_dirty(std::int64_t{by} * buckets_x_ + bx);
         if (nbx == bx && nby == by) return;
         mark_dirty(std::int64_t{nby} * buckets_x_ + nbx);
@@ -273,6 +286,7 @@ private:
 
     grid::Grid2D grid_;
     grid::Coord side_;
+    int side_shift_{-1};  ///< log2(side_) when side_ is a power of two, else -1
     grid::Coord buckets_x_{0};
     grid::Coord buckets_y_{0};
     std::vector<std::int32_t> head_;        ///< bucket -> first agent

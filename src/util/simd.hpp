@@ -1,0 +1,425 @@
+// simd.hpp — fixed-width portable SIMD lanes for the hot kernels.
+//
+// The walk decode/apply kernels (walk/ensemble.hpp, walk/decode.hpp) and
+// the in-range distance filter of the pair scan (graph/range_filter.hpp)
+// are written once against the two wrapper types below and compiled
+// against one of three backends, selected at CONFIGURE time (never at
+// runtime — a runtime dispatch would put an unpredictable branch in loops
+// that run billions of times):
+//
+//  * AVX2   — x86-64 with -mavx2 (cmake/Simd.cmake probes the compiler and
+//             adds the flag; the binary then requires an AVX2 host).
+//  * NEON   — AArch64 (no extra flags; NEON is baseline on arm64).
+//  * scalar — everything else, or any build configured with
+//             -DSMN_DISABLE_SIMD=ON. Plain loops over small arrays; the
+//             force-scalar CI leg runs the full test suite against it.
+//
+// Lane widths are fixed at 8×int32 / 4×uint64 on every backend (the NEON
+// backend pairs two 128-bit registers) so kernel code never branches on
+// width. Masks are carried as lane vectors (all-ones per true lane);
+// `move_mask` compresses the sign bits into an 8-bit integer whose bit i
+// corresponds to lane i — survivors are then iterated in ASCENDING lane
+// order, which is what keeps vectorized scans order-identical to their
+// scalar references (the determinism contract).
+//
+// Determinism note: every operation here is exact integer arithmetic —
+// identical results on every backend by construction. There is no
+// floating point, no FMA, no reassociation. The SIMD-vs-scalar golden
+// tests (tests/determinism_test.cpp, force-scalar CI leg) enforce this
+// end to end.
+#pragma once
+
+#include <cstdint>
+
+#if !defined(SMN_DISABLE_SIMD) && defined(__AVX2__)
+#define SMN_SIMD_AVX2 1
+#include <immintrin.h>
+#elif !defined(SMN_DISABLE_SIMD) && defined(__ARM_NEON) && defined(__aarch64__)
+#define SMN_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define SMN_SIMD_SCALAR 1
+#endif
+
+namespace smn::util::simd {
+
+/// Lanes per I32x8 / U64x4 — fixed on every backend.
+inline constexpr int kI32Lanes = 8;
+inline constexpr int kU64Lanes = 4;
+
+/// Name of the configure-time backend (for --version strings and tests).
+[[nodiscard]] constexpr const char* backend_name() noexcept {
+#if defined(SMN_SIMD_AVX2)
+    return "avx2";
+#elif defined(SMN_SIMD_NEON)
+    return "neon";
+#else
+    return "scalar";
+#endif
+}
+
+#if defined(SMN_SIMD_AVX2)
+
+// ------------------------------------------------------------- AVX2 backend
+
+/// Eight int32 lanes.
+struct I32x8 {
+    __m256i v;
+
+    [[nodiscard]] static I32x8 load(const std::int32_t* p) noexcept {
+        return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+    }
+    [[nodiscard]] static I32x8 splat(std::int32_t x) noexcept { return {_mm256_set1_epi32(x)}; }
+    void store(std::int32_t* p) const noexcept {
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+    }
+};
+
+[[nodiscard]] inline I32x8 add(I32x8 a, I32x8 b) noexcept {
+    return {_mm256_add_epi32(a.v, b.v)};
+}
+[[nodiscard]] inline I32x8 sub(I32x8 a, I32x8 b) noexcept {
+    return {_mm256_sub_epi32(a.v, b.v)};
+}
+[[nodiscard]] inline I32x8 abs(I32x8 a) noexcept { return {_mm256_abs_epi32(a.v)}; }
+[[nodiscard]] inline I32x8 max(I32x8 a, I32x8 b) noexcept {
+    return {_mm256_max_epi32(a.v, b.v)};
+}
+[[nodiscard]] inline I32x8 bit_and(I32x8 a, I32x8 b) noexcept {
+    return {_mm256_and_si256(a.v, b.v)};
+}
+[[nodiscard]] inline I32x8 bit_or(I32x8 a, I32x8 b) noexcept {
+    return {_mm256_or_si256(a.v, b.v)};
+}
+/// Per-lane a > b (signed): all-ones lane when true.
+[[nodiscard]] inline I32x8 cmpgt(I32x8 a, I32x8 b) noexcept {
+    return {_mm256_cmpgt_epi32(a.v, b.v)};
+}
+[[nodiscard]] inline I32x8 cmpeq(I32x8 a, I32x8 b) noexcept {
+    return {_mm256_cmpeq_epi32(a.v, b.v)};
+}
+template <int N>
+[[nodiscard]] inline I32x8 shift_left(I32x8 a) noexcept {
+    return {_mm256_slli_epi32(a.v, N)};
+}
+template <int N>
+[[nodiscard]] inline I32x8 shift_right_arith(I32x8 a) noexcept {
+    return {_mm256_srai_epi32(a.v, N)};
+}
+/// table[idx[lane]] for each lane (table entries int32).
+[[nodiscard]] inline I32x8 gather(const std::int32_t* table, I32x8 idx) noexcept {
+    return {_mm256_i32gather_epi32(table, idx.v, 4)};
+}
+/// Bit i of the result = sign bit of lane i.
+[[nodiscard]] inline unsigned move_mask(I32x8 a) noexcept {
+    return static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(a.v)));
+}
+/// Stores the 16 values a0,b0,a1,b1,…,a7,b7 at dst (AoS pair mirror).
+inline void store_interleaved(std::int32_t* dst, I32x8 a, I32x8 b) noexcept {
+    const __m256i lo = _mm256_unpacklo_epi32(a.v, b.v);  // a0 b0 a1 b1 | a4 b4 a5 b5
+    const __m256i hi = _mm256_unpackhi_epi32(a.v, b.v);  // a2 b2 a3 b3 | a6 b6 a7 b7
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst), _mm256_permute2x128_si256(lo, hi, 0x20));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 8),
+                        _mm256_permute2x128_si256(lo, hi, 0x31));
+}
+
+/// Four uint64 lanes.
+struct U64x4 {
+    __m256i v;
+
+    [[nodiscard]] static U64x4 load(const std::uint64_t* p) noexcept {
+        return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+    }
+    [[nodiscard]] static U64x4 splat(std::uint64_t x) noexcept {
+        return {_mm256_set1_epi64x(static_cast<long long>(x))};
+    }
+};
+
+[[nodiscard]] inline U64x4 add(U64x4 a, U64x4 b) noexcept {
+    return {_mm256_add_epi64(a.v, b.v)};
+}
+[[nodiscard]] inline U64x4 bit_and(U64x4 a, U64x4 b) noexcept {
+    return {_mm256_and_si256(a.v, b.v)};
+}
+[[nodiscard]] inline U64x4 bit_or(U64x4 a, U64x4 b) noexcept {
+    return {_mm256_or_si256(a.v, b.v)};
+}
+[[nodiscard]] inline U64x4 cmpeq(U64x4 a, U64x4 b) noexcept {
+    return {_mm256_cmpeq_epi64(a.v, b.v)};
+}
+template <int N>
+[[nodiscard]] inline U64x4 shift_left(U64x4 a) noexcept {
+    return {_mm256_slli_epi64(a.v, N)};
+}
+template <int N>
+[[nodiscard]] inline U64x4 shift_right(U64x4 a) noexcept {
+    return {_mm256_srli_epi64(a.v, N)};
+}
+/// True iff any lane has any bit set.
+[[nodiscard]] inline bool any(U64x4 a) noexcept {
+    return _mm256_testz_si256(a.v, a.v) == 0;
+}
+/// Stores the low 32 bits of each lane as 4 consecutive int32 at dst.
+inline void store_narrow(std::int32_t* dst, U64x4 a) noexcept {
+    const __m256i shuffled =
+        _mm256_permutevar8x32_epi32(a.v, _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst), _mm256_castsi256_si128(shuffled));
+}
+
+#elif defined(SMN_SIMD_NEON)
+
+// ------------------------------------------------------------- NEON backend
+// 128-bit registers paired to keep the 8×int32 / 4×uint64 shape.
+
+struct I32x8 {
+    int32x4_t lo;
+    int32x4_t hi;
+
+    [[nodiscard]] static I32x8 load(const std::int32_t* p) noexcept {
+        return {vld1q_s32(p), vld1q_s32(p + 4)};
+    }
+    [[nodiscard]] static I32x8 splat(std::int32_t x) noexcept {
+        return {vdupq_n_s32(x), vdupq_n_s32(x)};
+    }
+    void store(std::int32_t* p) const noexcept {
+        vst1q_s32(p, lo);
+        vst1q_s32(p + 4, hi);
+    }
+};
+
+[[nodiscard]] inline I32x8 add(I32x8 a, I32x8 b) noexcept {
+    return {vaddq_s32(a.lo, b.lo), vaddq_s32(a.hi, b.hi)};
+}
+[[nodiscard]] inline I32x8 sub(I32x8 a, I32x8 b) noexcept {
+    return {vsubq_s32(a.lo, b.lo), vsubq_s32(a.hi, b.hi)};
+}
+[[nodiscard]] inline I32x8 abs(I32x8 a) noexcept { return {vabsq_s32(a.lo), vabsq_s32(a.hi)}; }
+[[nodiscard]] inline I32x8 max(I32x8 a, I32x8 b) noexcept {
+    return {vmaxq_s32(a.lo, b.lo), vmaxq_s32(a.hi, b.hi)};
+}
+[[nodiscard]] inline I32x8 bit_and(I32x8 a, I32x8 b) noexcept {
+    return {vandq_s32(a.lo, b.lo), vandq_s32(a.hi, b.hi)};
+}
+[[nodiscard]] inline I32x8 bit_or(I32x8 a, I32x8 b) noexcept {
+    return {vorrq_s32(a.lo, b.lo), vorrq_s32(a.hi, b.hi)};
+}
+[[nodiscard]] inline I32x8 cmpgt(I32x8 a, I32x8 b) noexcept {
+    return {vreinterpretq_s32_u32(vcgtq_s32(a.lo, b.lo)),
+            vreinterpretq_s32_u32(vcgtq_s32(a.hi, b.hi))};
+}
+[[nodiscard]] inline I32x8 cmpeq(I32x8 a, I32x8 b) noexcept {
+    return {vreinterpretq_s32_u32(vceqq_s32(a.lo, b.lo)),
+            vreinterpretq_s32_u32(vceqq_s32(a.hi, b.hi))};
+}
+template <int N>
+[[nodiscard]] inline I32x8 shift_left(I32x8 a) noexcept {
+    return {vshlq_n_s32(a.lo, N), vshlq_n_s32(a.hi, N)};
+}
+template <int N>
+[[nodiscard]] inline I32x8 shift_right_arith(I32x8 a) noexcept {
+    return {vshrq_n_s32(a.lo, N), vshrq_n_s32(a.hi, N)};
+}
+[[nodiscard]] inline I32x8 gather(const std::int32_t* table, I32x8 idx) noexcept {
+    std::int32_t is[8];
+    idx.store(is);
+    const std::int32_t g[8] = {table[is[0]], table[is[1]], table[is[2]], table[is[3]],
+                               table[is[4]], table[is[5]], table[is[6]], table[is[7]]};
+    return I32x8::load(g);
+}
+[[nodiscard]] inline unsigned move_mask(I32x8 a) noexcept {
+    // Sign bit of each lane → bit i. vaddv (AArch64) sums the per-lane
+    // 0/1<<i contributions.
+    const int32x4_t shifts_lo = {0, 1, 2, 3};
+    const int32x4_t shifts_hi = {4, 5, 6, 7};
+    const uint32x4_t ones = vdupq_n_u32(1);
+    const uint32x4_t sl = vandq_u32(vshrq_n_u32(vreinterpretq_u32_s32(a.lo), 31), ones);
+    const uint32x4_t sh = vandq_u32(vshrq_n_u32(vreinterpretq_u32_s32(a.hi), 31), ones);
+    return vaddvq_u32(vshlq_u32(sl, shifts_lo)) + vaddvq_u32(vshlq_u32(sh, shifts_hi));
+}
+inline void store_interleaved(std::int32_t* dst, I32x8 a, I32x8 b) noexcept {
+    int32x4x2_t lo{{a.lo, b.lo}};
+    int32x4x2_t hi{{a.hi, b.hi}};
+    vst2q_s32(dst, lo);
+    vst2q_s32(dst + 8, hi);
+}
+
+struct U64x4 {
+    uint64x2_t lo;
+    uint64x2_t hi;
+
+    [[nodiscard]] static U64x4 load(const std::uint64_t* p) noexcept {
+        return {vld1q_u64(p), vld1q_u64(p + 2)};
+    }
+    [[nodiscard]] static U64x4 splat(std::uint64_t x) noexcept {
+        return {vdupq_n_u64(x), vdupq_n_u64(x)};
+    }
+};
+
+[[nodiscard]] inline U64x4 add(U64x4 a, U64x4 b) noexcept {
+    return {vaddq_u64(a.lo, b.lo), vaddq_u64(a.hi, b.hi)};
+}
+[[nodiscard]] inline U64x4 bit_and(U64x4 a, U64x4 b) noexcept {
+    return {vandq_u64(a.lo, b.lo), vandq_u64(a.hi, b.hi)};
+}
+[[nodiscard]] inline U64x4 bit_or(U64x4 a, U64x4 b) noexcept {
+    return {vorrq_u64(a.lo, b.lo), vorrq_u64(a.hi, b.hi)};
+}
+[[nodiscard]] inline U64x4 cmpeq(U64x4 a, U64x4 b) noexcept {
+    return {vceqq_u64(a.lo, b.lo), vceqq_u64(a.hi, b.hi)};
+}
+template <int N>
+[[nodiscard]] inline U64x4 shift_left(U64x4 a) noexcept {
+    return {vshlq_n_u64(a.lo, N), vshlq_n_u64(a.hi, N)};
+}
+template <int N>
+[[nodiscard]] inline U64x4 shift_right(U64x4 a) noexcept {
+    return {vshrq_n_u64(a.lo, N), vshrq_n_u64(a.hi, N)};
+}
+[[nodiscard]] inline bool any(U64x4 a) noexcept {
+    return (vgetq_lane_u64(vorrq_u64(a.lo, a.hi), 0) |
+            vgetq_lane_u64(vorrq_u64(a.lo, a.hi), 1)) != 0;
+}
+inline void store_narrow(std::int32_t* dst, U64x4 a) noexcept {
+    const uint32x4_t narrow = vcombine_u32(vmovn_u64(a.lo), vmovn_u64(a.hi));
+    vst1q_s32(dst, vreinterpretq_s32_u32(narrow));
+}
+
+#else
+
+// ----------------------------------------------------------- scalar backend
+// Plain loops; gcc/clang auto-vectorize most of them at -O2, and the
+// force-scalar CI leg keeps this path green under ASan/UBSan.
+
+struct I32x8 {
+    std::int32_t l[8];
+
+    [[nodiscard]] static I32x8 load(const std::int32_t* p) noexcept {
+        I32x8 r;
+        for (int i = 0; i < 8; ++i) r.l[i] = p[i];
+        return r;
+    }
+    [[nodiscard]] static I32x8 splat(std::int32_t x) noexcept {
+        I32x8 r;
+        for (auto& v : r.l) v = x;
+        return r;
+    }
+    void store(std::int32_t* p) const noexcept {
+        for (int i = 0; i < 8; ++i) p[i] = l[i];
+    }
+};
+
+namespace detail {
+template <typename Fn>
+[[nodiscard]] inline I32x8 map8(I32x8 a, I32x8 b, Fn&& fn) noexcept {
+    I32x8 r;
+    for (int i = 0; i < 8; ++i) r.l[i] = fn(a.l[i], b.l[i]);
+    return r;
+}
+}  // namespace detail
+
+[[nodiscard]] inline I32x8 add(I32x8 a, I32x8 b) noexcept {
+    return detail::map8(a, b, [](std::int32_t x, std::int32_t y) {
+        return static_cast<std::int32_t>(static_cast<std::uint32_t>(x) +
+                                         static_cast<std::uint32_t>(y));
+    });
+}
+[[nodiscard]] inline I32x8 sub(I32x8 a, I32x8 b) noexcept {
+    return detail::map8(a, b, [](std::int32_t x, std::int32_t y) {
+        return static_cast<std::int32_t>(static_cast<std::uint32_t>(x) -
+                                         static_cast<std::uint32_t>(y));
+    });
+}
+[[nodiscard]] inline I32x8 abs(I32x8 a) noexcept {
+    I32x8 r;
+    for (int i = 0; i < 8; ++i) r.l[i] = a.l[i] < 0 ? -a.l[i] : a.l[i];
+    return r;
+}
+[[nodiscard]] inline I32x8 max(I32x8 a, I32x8 b) noexcept {
+    return detail::map8(a, b, [](std::int32_t x, std::int32_t y) { return x > y ? x : y; });
+}
+[[nodiscard]] inline I32x8 bit_and(I32x8 a, I32x8 b) noexcept {
+    return detail::map8(a, b, [](std::int32_t x, std::int32_t y) { return x & y; });
+}
+[[nodiscard]] inline I32x8 bit_or(I32x8 a, I32x8 b) noexcept {
+    return detail::map8(a, b, [](std::int32_t x, std::int32_t y) { return x | y; });
+}
+[[nodiscard]] inline I32x8 cmpgt(I32x8 a, I32x8 b) noexcept {
+    return detail::map8(a, b, [](std::int32_t x, std::int32_t y) { return x > y ? -1 : 0; });
+}
+[[nodiscard]] inline I32x8 cmpeq(I32x8 a, I32x8 b) noexcept {
+    return detail::map8(a, b, [](std::int32_t x, std::int32_t y) { return x == y ? -1 : 0; });
+}
+template <int N>
+[[nodiscard]] inline I32x8 shift_left(I32x8 a) noexcept {
+    I32x8 r;
+    for (int i = 0; i < 8; ++i) {
+        r.l[i] = static_cast<std::int32_t>(static_cast<std::uint32_t>(a.l[i]) << N);
+    }
+    return r;
+}
+template <int N>
+[[nodiscard]] inline I32x8 shift_right_arith(I32x8 a) noexcept {
+    I32x8 r;
+    for (int i = 0; i < 8; ++i) r.l[i] = a.l[i] >> N;
+    return r;
+}
+[[nodiscard]] inline I32x8 gather(const std::int32_t* table, I32x8 idx) noexcept {
+    I32x8 r;
+    for (int i = 0; i < 8; ++i) r.l[i] = table[idx.l[i]];
+    return r;
+}
+[[nodiscard]] inline unsigned move_mask(I32x8 a) noexcept {
+    unsigned bits = 0;
+    for (int i = 0; i < 8; ++i) {
+        bits |= (static_cast<std::uint32_t>(a.l[i]) >> 31) << i;
+    }
+    return bits;
+}
+inline void store_interleaved(std::int32_t* dst, I32x8 a, I32x8 b) noexcept {
+    for (int i = 0; i < 8; ++i) {
+        dst[2 * i] = a.l[i];
+        dst[2 * i + 1] = b.l[i];
+    }
+}
+
+struct U64x4 {
+    std::uint64_t l[4];
+
+    [[nodiscard]] static U64x4 load(const std::uint64_t* p) noexcept {
+        return {{p[0], p[1], p[2], p[3]}};
+    }
+    [[nodiscard]] static U64x4 splat(std::uint64_t x) noexcept { return {{x, x, x, x}}; }
+};
+
+[[nodiscard]] inline U64x4 add(U64x4 a, U64x4 b) noexcept {
+    return {{a.l[0] + b.l[0], a.l[1] + b.l[1], a.l[2] + b.l[2], a.l[3] + b.l[3]}};
+}
+[[nodiscard]] inline U64x4 bit_and(U64x4 a, U64x4 b) noexcept {
+    return {{a.l[0] & b.l[0], a.l[1] & b.l[1], a.l[2] & b.l[2], a.l[3] & b.l[3]}};
+}
+[[nodiscard]] inline U64x4 bit_or(U64x4 a, U64x4 b) noexcept {
+    return {{a.l[0] | b.l[0], a.l[1] | b.l[1], a.l[2] | b.l[2], a.l[3] | b.l[3]}};
+}
+[[nodiscard]] inline U64x4 cmpeq(U64x4 a, U64x4 b) noexcept {
+    U64x4 r;
+    for (int i = 0; i < 4; ++i) r.l[i] = a.l[i] == b.l[i] ? ~std::uint64_t{0} : 0;
+    return r;
+}
+template <int N>
+[[nodiscard]] inline U64x4 shift_left(U64x4 a) noexcept {
+    return {{a.l[0] << N, a.l[1] << N, a.l[2] << N, a.l[3] << N}};
+}
+template <int N>
+[[nodiscard]] inline U64x4 shift_right(U64x4 a) noexcept {
+    return {{a.l[0] >> N, a.l[1] >> N, a.l[2] >> N, a.l[3] >> N}};
+}
+[[nodiscard]] inline bool any(U64x4 a) noexcept {
+    return (a.l[0] | a.l[1] | a.l[2] | a.l[3]) != 0;
+}
+inline void store_narrow(std::int32_t* dst, U64x4 a) noexcept {
+    for (int i = 0; i < 4; ++i) dst[i] = static_cast<std::int32_t>(a.l[i] & 0xFFFFFFFFu);
+}
+
+#endif
+
+}  // namespace smn::util::simd

@@ -18,6 +18,17 @@
 // replaced — one bounded draw per moving agent, in agent order, Lemire
 // rejections included — so every existing seed reproduces bit-identical
 // trajectories (see docs/performance.md for the invariant).
+//
+// The lazy-paper step_all path is additionally vectorized end to end
+// (util/simd.hpp — AVX2/NEON/scalar selected at configure time): the
+// Lemire decode runs 4 words per 64-bit vector (walk/decode.hpp) and the
+// position update runs 8 agents per 32-bit vector — boundary mask, packed
+// step-table gather, SoA stores and the AoS mirror interleave are all
+// branch-free lane math; only agents that actually moved re-enter scalar
+// code, in ascending lane order, to fire the on_move hook. Lanes are just
+// a partition of the agent order, so the trajectories (and the word
+// stream, which the decode never reorders) stay bit-identical across
+// backends — the force-scalar CI leg replays the same goldens to prove it.
 #pragma once
 
 #include <algorithm>
@@ -31,6 +42,8 @@
 #include "grid/grid.hpp"
 #include "grid/point.hpp"
 #include "rng/rng.hpp"
+#include "util/simd.hpp"
+#include "walk/decode.hpp"
 #include "walk/step.hpp"
 
 namespace smn::walk {
@@ -115,8 +128,32 @@ public:
     /// incremental spatial index hangs off.
     template <typename OnMove>
     void step_all(rng::Rng& rng, OnMove&& on_move) {
-        step_indices(
-            rng, positions_.size(), [](std::size_t i) { return i; }, on_move);
+        if (kind_ != WalkKind::kLazyPaper) {
+            step_indices(
+                rng, positions_.size(), [](std::size_t i) { return i; }, on_move);
+            return;
+        }
+        // Lazy-paper fast path: agent ids are contiguous, so both decode
+        // and apply run vectorized (apply_block). A Lemire rejection
+        // anywhere in a block (one word == 0, a ~2^-64 event) drops that
+        // block to the exact scalar BlockRng replay, which re-consumes the
+        // same buffered words so the engine stream cannot diverge.
+        const auto width = grid_.width();
+        const auto height = grid_.height();
+        const std::size_t count = positions_.size();
+        for (std::size_t base = 0; base < count; base += kBlockSize) {
+            const std::size_t len = std::min(kBlockSize, count - base);
+            block_.fill(rng, len);
+            if (decode_block(len)) {
+                apply_block(base, len, width, height, on_move);
+            } else {
+                for (std::size_t i = 0; i < len; ++i) {
+                    const auto a = base + i;
+                    apply(a, direction_mask(xs_[a], ys_[a], width, height),
+                          static_cast<unsigned>(block_.below(rng, 5)), on_move);
+                }
+            }
+        }
     }
 
     /// Advances only the agents for which `should_move[a]` is true; the
@@ -145,11 +182,9 @@ public:
     }
 
 private:
-    /// Agents decoded per RNG block; 8 KiB of raw words + 1 KiB of draws,
+    /// Agents decoded per RNG block; 8 KiB of raw words + 4 KiB of draws,
     /// comfortably L1-resident.
     static constexpr std::size_t kBlockSize = 1024;
-    /// Lemire rejection threshold for bound 5 (the lazy-paper draw).
-    static constexpr std::uint64_t kThreshold5 = (0 - std::uint64_t{5}) % 5;
 
     void reserve(std::size_t k) {
         xs_.reserve(k);
@@ -172,11 +207,12 @@ private:
         for (std::size_t base = 0; base < count; base += kBlockSize) {
             const std::size_t len = std::min(kBlockSize, count - base);
             block_.fill(rng, len);
-            if (kind_ == WalkKind::kLazyPaper && decode_lazy_paper(len)) {
+            if (kind_ == WalkKind::kLazyPaper && decode_block(len)) {
                 // Common path: every buffered word decoded rejection-free.
                 for (std::size_t i = 0; i < len; ++i) {
                     const auto a = index_of(base + i);
-                    apply(a, direction_mask(xs_[a], ys_[a], width, height), draws_[i], on_move);
+                    apply(a, direction_mask(xs_[a], ys_[a], width, height),
+                          static_cast<unsigned>(draws_[i]), on_move);
                 }
             } else {
                 // Exact scalar path: ablation walks, and the ~2^-64 case of
@@ -201,19 +237,75 @@ private:
     }
 
     /// Pass 1 of the lazy-paper kernel: decode the block's raw words into
-    /// draws_ (u ∈ [0,5)) with Lemire's multiply. Returns false — leaving
-    /// draws_ unusable — iff any word would have been rejected.
-    bool decode_lazy_paper(std::size_t len) {
-        const auto words = block_.words();
+    /// draws_ (u ∈ [0,5)) with Lemire's multiply (walk/decode.hpp, SIMD
+    /// when configured). Returns false — leaving draws_ unusable — iff any
+    /// word would have been rejected.
+    [[nodiscard]] bool decode_block(std::size_t len) {
         draws_.resize(len);
-        std::uint64_t rejected = 0;
-        for (std::size_t i = 0; i < len; ++i) {
-            const auto m =
-                static_cast<__uint128_t>(words[i]) * static_cast<__uint128_t>(std::uint64_t{5});
-            rejected |= static_cast<std::uint64_t>(static_cast<std::uint64_t>(m) < kThreshold5);
-            draws_[i] = static_cast<std::uint8_t>(m >> 64);
+        return decode_draws5(block_.words().data(), len, draws_.data());
+    }
+
+    /// Pass 2 of the contiguous (step_all) lazy-paper kernel: apply 8
+    /// decoded draws per vector to agents [base, base+len). Lane math
+    /// mirrors apply()/direction_mask() exactly — cmpgt against the
+    /// boundary coordinates builds the presence mask, a gather through
+    /// kStepTablePacked turns mask*5+u into (dx, dy), and the AoS Point
+    /// mirror is refreshed with an interleaved store. Only lanes whose
+    /// packed delta is nonzero moved; they fire on_move in ascending lane
+    /// order, which is exactly the scalar agent order.
+    template <typename OnMove>
+    void apply_block(std::size_t base, std::size_t len, grid::Coord width, grid::Coord height,
+                     OnMove&& on_move) {
+        namespace s = util::simd;
+        static_assert(sizeof(grid::Point) == 2 * sizeof(grid::Coord));
+        constexpr auto kLanes = static_cast<std::size_t>(s::kI32Lanes);
+        const auto zero = s::I32x8::splat(0);
+        const auto xmax = s::I32x8::splat(width - 1);
+        const auto ymax = s::I32x8::splat(height - 1);
+        const auto one = s::I32x8::splat(1);
+        const auto two = s::I32x8::splat(2);
+        const auto four = s::I32x8::splat(4);
+        const auto eight = s::I32x8::splat(8);
+        std::int32_t ox[kLanes];
+        std::int32_t oy[kLanes];
+        std::size_t i = 0;
+        for (; i + kLanes <= len; i += kLanes) {
+            const std::size_t a0 = base + i;
+            const auto xv = s::I32x8::load(xs_.data() + a0);
+            const auto yv = s::I32x8::load(ys_.data() + a0);
+            // direction_mask(), lane-wise: x+1 < width ⇔ x < width−1.
+            auto mask = s::bit_and(s::cmpgt(xv, zero), one);
+            mask = s::bit_or(mask, s::bit_and(s::cmpgt(xmax, xv), two));
+            mask = s::bit_or(mask, s::bit_and(s::cmpgt(yv, zero), four));
+            mask = s::bit_or(mask, s::bit_and(s::cmpgt(ymax, yv), eight));
+            const auto uv = s::I32x8::load(draws_.data() + i);
+            const auto idx = s::add(s::add(s::shift_left<2>(mask), mask), uv);
+            const auto delta = s::gather(kStepTablePacked.data(), idx);
+            const auto dx = s::shift_right_arith<16>(s::shift_left<16>(delta));
+            const auto dy = s::shift_right_arith<16>(delta);
+            const auto nx = s::add(xv, dx);
+            const auto ny = s::add(yv, dy);
+            const unsigned moved = ~s::move_mask(s::cmpeq(delta, zero)) & 0xFFu;
+            if (moved != 0) {
+                xv.store(ox);
+                yv.store(oy);
+            }
+            nx.store(xs_.data() + a0);
+            ny.store(ys_.data() + a0);
+            s::store_interleaved(reinterpret_cast<std::int32_t*>(positions_.data() + a0), nx,
+                                 ny);
+            for (unsigned bits = moved; bits != 0; bits &= bits - 1) {
+                const auto lane = static_cast<std::size_t>(std::countr_zero(bits));
+                const std::size_t a = a0 + lane;
+                on_move(static_cast<AgentId>(a), grid::Point{ox[lane], oy[lane]},
+                        positions_[a]);
+            }
         }
-        return rejected == 0;
+        for (; i < len; ++i) {
+            const std::size_t a = base + i;
+            apply(a, direction_mask(xs_[a], ys_[a], width, height),
+                  static_cast<unsigned>(draws_[i]), on_move);
+        }
     }
 
     /// Pass 2: apply one decoded draw via the direction table.
@@ -234,7 +326,7 @@ private:
     std::vector<grid::Point> positions_;    ///< coherent AoS mirror for span views
     WalkKind kind_;
     rng::BlockRng block_;                   ///< block-drawn raw RNG words
-    std::vector<std::uint8_t> draws_;       ///< decoded u per block slot
+    std::vector<std::int32_t> draws_;       ///< decoded u per block slot (int32: SIMD lane width)
     std::vector<std::int32_t> moving_;      ///< scratch: step_subset selection
 };
 

@@ -65,6 +65,24 @@ struct StepDelta {
 
 inline constexpr std::array<StepDelta, 16 * 5> kStepTable = make_step_table();
 
+/// kStepTable re-packed for the SIMD apply kernel: one int32 per entry,
+/// dx in the low 16 bits, dy in the high 16 (both as sign-extendable
+/// 16-bit fields). An entry is 0 exactly when the draw means "stay", so
+/// the vector kernel recovers the moved-lane mask with one compare. Lane
+/// math: dx = (v << 16) >> 16 (arithmetic), dy = v >> 16 (arithmetic).
+[[nodiscard]] constexpr std::array<std::int32_t, 16 * 5> make_step_table_packed() noexcept {
+    std::array<std::int32_t, 16 * 5> table{};
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        const auto dx16 = static_cast<std::uint16_t>(kStepTable[i].dx);
+        const auto dy16 = static_cast<std::uint16_t>(kStepTable[i].dy);
+        table[i] = static_cast<std::int32_t>(static_cast<std::uint32_t>(dx16) |
+                                             (static_cast<std::uint32_t>(dy16) << 16));
+    }
+    return table;
+}
+
+inline constexpr std::array<std::int32_t, 16 * 5> kStepTablePacked = make_step_table_packed();
+
 /// Presence mask of the four grid directions at (x, y) on a bounded
 /// width×height grid; popcount equals the node degree n_v.
 [[nodiscard]] constexpr unsigned direction_mask(grid::Coord x, grid::Coord y, grid::Coord width,
