@@ -23,7 +23,8 @@ build_dir="${1:-build}"
 shift || true
 docs=("$@")
 if [ "${#docs[@]}" -eq 0 ]; then
-    docs=(README.md docs/architecture.md docs/experiments.md docs/performance.md)
+    docs=(README.md docs/architecture.md docs/experiments.md docs/performance.md
+          docs/observability.md)
 fi
 
 if [ ! -x "${build_dir}/smn_lab" ]; then
@@ -74,6 +75,7 @@ for doc in "${docs[@]}"; do
                 for arg in "${raw[@]}"; do
                     case "${arg}" in
                         --reps=*|--threads=*|--out=*|--progress|--no-progress) ;;
+                        --trace=*) args+=("--trace=${tmp}/doc_cmd.trace") ;;
                         *) args+=("${arg}") ;;
                     esac
                 done

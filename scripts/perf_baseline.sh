@@ -10,7 +10,7 @@
 set -euo pipefail
 
 build_dir="${1:-build}"
-out_json="${2:-results/BENCH_PR6.json}"
+out_json="${2:-results/BENCH_PR7.json}"
 baseline_json="${3:-}"
 
 out_dir="$(dirname "${out_json}")"
@@ -19,10 +19,12 @@ jsonl="${out_dir}/step_throughput.jsonl"
 : > "${jsonl}"
 
 # --threads=1 keeps replications sequential so steps_per_s measures the
-# single-threaded step loop; 3 reps amortize process noise.
+# single-threaded step loop; 3 reps amortize process noise. --counters
+# feeds perf_gate.py's derived rates (replay ratio, bypass fraction, pair
+# survivor rate) so each BENCH point records how the machinery engaged.
 run() {
     "${build_dir}/smn_lab" --scenario=step_throughput --sweep="$1" \
-        --reps=3 --threads=1 --timings --out="${jsonl}.part"
+        --reps=3 --threads=1 --timings --counters --out="${jsonl}.part"
     cat "${jsonl}.part" >> "${jsonl}"
     rm -f "${jsonl}.part"
 }

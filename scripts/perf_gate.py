@@ -24,6 +24,26 @@ def canonical_key(params):
     return ";".join(f"{k}={v}" for k, v in sorted(params.items()))
 
 
+def derived_rates(counters):
+    """Telemetry ratios worth eyeballing next to steps/s: how much of the
+    incremental machinery actually engaged on this point."""
+    rates = {}
+    def ratio(name, num, den):
+        if den > 0:
+            rates[name] = round(num / den, 4)
+    units = counters.get("scan.units_replayed", 0) + counters.get("scan.units_rescanned", 0)
+    ratio("replay_ratio", counters.get("scan.units_replayed", 0), units)
+    ratio("bypass_fraction", counters.get("scan.bypass_passes", 0),
+          counters.get("scan.passes", 0))
+    ratio("pair_survivor_rate", counters.get("scan.pairs_survived", 0),
+          counters.get("scan.pairs_tested", 0))
+    ratio("dsu_fast_hit_rate", counters.get("dsu.fast_path_hits", 0),
+          counters.get("dsu.fast_path_hits", 0) + counters.get("dsu.unites", 0))
+    ratio("relink_fraction", counters.get("index.relinks", 0),
+          counters.get("index.moves", 0))
+    return rates
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("fresh_jsonl")
@@ -34,12 +54,21 @@ def main():
     args = ap.parse_args()
 
     points = []
+    provenance = None
     with open(args.fresh_jsonl) as fh:
         for line in fh:
             line = line.strip()
             if not line:
                 continue
             rec = json.loads(line)
+            if "record" in rec:
+                # Run-level records (provenance, counters_total) — not
+                # parameter points; keep provenance in the BENCH json.
+                if rec["record"] == "provenance":
+                    provenance = {k: rec[k] for k in
+                                  ("git_sha", "build_type", "simd", "obs_enabled")
+                                  if k in rec}
+                continue
             timing = rec.get("timing")
             if timing is None:
                 sys.exit("perf_gate: record without timing — rerun smn_lab with --timings")
@@ -69,6 +98,14 @@ def main():
                     f"{name[:-5]} {phases[name]:.0%}"
                     for name in sorted(phases) if name.endswith("_frac"))
                 print(f"[perf-gate] {point['key']}: phase split: {fracs}")
+            counters = rec.get("counters")
+            if counters:
+                rates = derived_rates(counters)
+                if rates:
+                    point["rates"] = rates
+                    print(f"[perf-gate] {point['key']}: "
+                          + ", ".join(f"{name} {value:.2%}"
+                                      for name, value in sorted(rates.items())))
             points.append(point)
     if not points:
         sys.exit("perf_gate: no records in " + args.fresh_jsonl)
@@ -102,6 +139,8 @@ def main():
         "generated_by": "scripts/perf_baseline.sh",
         "points": points,
     }
+    if provenance:
+        out["provenance"] = provenance
     with open(args.out_json, "w") as fh:
         json.dump(out, fh, indent=2)
         fh.write("\n")

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "graph/visibility.hpp"
+#include "obs/registry.hpp"
 
 namespace smn::core {
 
@@ -50,6 +51,123 @@ BroadcastProcess::BroadcastProcess(const EngineConfig& config)
     builder_.build(agents_.positions(), dsu_);
     exchange();
     notify();
+    // One-shot trace arming (smn_lab --trace): the first engine built
+    // after obs::arm_trace claims the sink. Purely observational — the
+    // only engine-side effect is phase timing, which touches no state the
+    // trajectories depend on.
+    set_trace(obs::claim_trace());
+}
+
+BroadcastProcess::~BroadcastProcess() {
+#if SMN_OBS_ENABLED
+    // Moved-from shells keep their (trivially copyable) tally totals;
+    // flushing them too would double-count. A move empties the ensemble's
+    // vectors, so count() == 0 identifies a shell.
+    if (agents_.count() == 0) return;
+    auto& registry = obs::Registry::instance();
+    for (const auto& [name, value] : counters()) {
+        registry.counter(std::string{"engine."} + name)
+            .add(static_cast<std::int64_t>(value));
+    }
+#endif
+}
+
+std::vector<std::pair<const char*, double>> BroadcastProcess::counters() const {
+    const auto& scan = builder_.scan_stats();
+    const auto& index = builder_.index_stats();
+    const auto& dsu = dsu_.stats();
+    const auto& walk = agents_.decode_stats();
+    const auto d = [](std::int64_t v) { return static_cast<double>(v); };
+    return {
+        {"scan.passes", d(scan.passes)},
+        {"scan.bypass_passes", d(scan.bypass_passes)},
+        {"scan.units_rescanned", d(scan.rescanned_units)},
+        {"scan.units_replayed", d(scan.replayed_units)},
+        {"scan.dirty_buckets", d(scan.dirty_buckets)},
+        {"scan.pairs_tested", d(scan.pairs_tested)},
+        {"scan.pairs_survived", d(scan.pairs_survived)},
+        {"scan.edges_cached", d(scan.edges_cached)},
+        {"scan.edges_replayed", d(scan.edges_replayed)},
+        {"index.moves", d(index.moves)},
+        {"index.relinks", d(index.relinks)},
+        {"index.dirty_marks", d(index.dirty_marks)},
+        {"index.rebuilds", d(index.rebuilds)},
+        {"dsu.unites", d(dsu.unites)},
+        {"dsu.fast_path_hits", d(dsu.fast_path_hits)},
+        {"walk.blocks_decoded", d(walk.blocks_decoded)},
+        {"walk.blocks_scalar", d(walk.blocks_scalar)},
+    };
+}
+
+void BroadcastProcess::set_trace(obs::StepTrace* trace) noexcept {
+    trace_ = trace;
+    if (trace_ != nullptr) {
+        set_phase_timing(true);
+        // Baseline at attach time, so the first traced step's deltas cover
+        // that step only — not the construction-time build pass.
+        trace_prev_ = trace_totals();
+    }
+}
+
+/// Current cumulative totals of every traced engine counter and phase.
+obs::StepRecord BroadcastProcess::trace_totals() const noexcept {
+    obs::StepRecord cur{};
+    const auto ph = phase_timings();
+    cur.walk_s = ph.walk_s;
+    cur.index_s = ph.index_s;
+    cur.components_s = ph.components_s;
+    cur.exchange_s = ph.exchange_s;
+    const auto& scan = builder_.scan_stats();
+    cur.rescanned = scan.rescanned_units;
+    cur.replayed = scan.replayed_units;
+    cur.bypass = scan.bypass_passes;
+    cur.pairs_tested = scan.pairs_tested;
+    cur.pairs_survived = scan.pairs_survived;
+    cur.edges_cached = scan.edges_cached;
+    cur.edges_replayed = scan.edges_replayed;
+    cur.dirty_buckets = scan.dirty_buckets;
+    const auto& index = builder_.index_stats();
+    cur.index_moves = index.moves;
+    cur.index_relinks = index.relinks;
+    const auto& dsu = dsu_.stats();
+    cur.dsu_unites = dsu.unites;
+    cur.dsu_fast_hits = dsu.fast_path_hits;
+    const auto& walk = agents_.decode_stats();
+    cur.blocks_decoded = walk.blocks_decoded;
+    cur.blocks_scalar = walk.blocks_scalar;
+    return cur;
+}
+
+/// Pushes one StepRecord: deltas of every cumulative engine counter and
+/// phase total since the previous traced step, plus instantaneous gauges.
+void BroadcastProcess::trace_step() {
+    if (trace_ == nullptr) return;
+    const obs::StepRecord cur = trace_totals();
+    obs::StepRecord rec{};
+    rec.step = t_;
+    rec.walk_s = cur.walk_s - trace_prev_.walk_s;
+    rec.index_s = cur.index_s - trace_prev_.index_s;
+    rec.components_s = cur.components_s - trace_prev_.components_s;
+    rec.exchange_s = cur.exchange_s - trace_prev_.exchange_s;
+    rec.rescanned = cur.rescanned - trace_prev_.rescanned;
+    rec.replayed = cur.replayed - trace_prev_.replayed;
+    rec.bypass = cur.bypass - trace_prev_.bypass;
+    rec.pairs_tested = cur.pairs_tested - trace_prev_.pairs_tested;
+    rec.pairs_survived = cur.pairs_survived - trace_prev_.pairs_survived;
+    rec.edges_cached = cur.edges_cached - trace_prev_.edges_cached;
+    rec.edges_replayed = cur.edges_replayed - trace_prev_.edges_replayed;
+    rec.dirty_buckets = cur.dirty_buckets - trace_prev_.dirty_buckets;
+    rec.index_moves = cur.index_moves - trace_prev_.index_moves;
+    rec.index_relinks = cur.index_relinks - trace_prev_.index_relinks;
+    rec.dsu_unites = cur.dsu_unites - trace_prev_.dsu_unites;
+    rec.dsu_fast_hits = cur.dsu_fast_hits - trace_prev_.dsu_fast_hits;
+    rec.blocks_decoded = cur.blocks_decoded - trace_prev_.blocks_decoded;
+    rec.blocks_scalar = cur.blocks_scalar - trace_prev_.blocks_scalar;
+    rec.units = builder_.occupied_units();
+    rec.informed = rumor_.informed_count();
+    rec.components = static_cast<std::int64_t>(dsu_.set_count());
+    trace_->push(rec);
+    trace_prev_ = cur;
 }
 
 void BroadcastProcess::step() {
@@ -89,6 +207,7 @@ void BroadcastProcess::step() {
     if (timing_) walk_seconds_ += std::chrono::duration<double>(t1 - t0).count();
     if (lazy) {
         stale_ = true;
+        trace_step();
         return;
     }
     if (stale_) {
@@ -105,6 +224,7 @@ void BroadcastProcess::step() {
         rebuild_seconds_ += std::chrono::duration<double>(t2 - t1).count();
         exchange_seconds_ += std::chrono::duration<double>(t3 - t2).count();
     }
+    trace_step();
     notify();
 }
 

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/rumor.hpp"
@@ -31,6 +32,7 @@
 #include "graph/visibility.hpp"
 #include "grid/grid.hpp"
 #include "grid/point.hpp"
+#include "obs/step_trace.hpp"
 #include "rng/rng.hpp"
 #include "walk/ensemble.hpp"
 #include "walk/step.hpp"
@@ -111,6 +113,11 @@ public:
     BroadcastProcess(BroadcastProcess&&) = default;
     BroadcastProcess& operator=(BroadcastProcess&&) = default;
 
+    /// Flushes the engine's counters into the process-wide obs::Registry
+    /// under the "engine." prefix (no-op under -DSMN_DISABLE_OBS, and for
+    /// moved-from shells).
+    ~BroadcastProcess();
+
     /// Attaches an observer (non-owning). It immediately misses the t = 0
     /// callback if attached after construction; attach before stepping for
     /// full series. (run_broadcast handles this for the common cases.)
@@ -147,10 +154,24 @@ public:
     /// set_phase_timing(true) was called before stepping).
     [[nodiscard]] StepPhaseTimings phase_timings() const noexcept;
 
+    /// Name → value of every engine counter, cumulative since
+    /// construction (scan.*, index.*, dsu.*, walk.*). Values are int64
+    /// tallies widened to double for the metric pipeline; the gated ones
+    /// read zero under -DSMN_DISABLE_OBS.
+    [[nodiscard]] std::vector<std::pair<const char*, double>> counters() const;
+
+    /// Attaches a per-step trace sink (non-owning; nullptr detaches).
+    /// Tracing implies phase timing; it is purely observational and never
+    /// affects trajectories. The engine constructor also claims the
+    /// process-wide armed trace (obs::arm_trace) automatically.
+    void set_trace(obs::StepTrace* trace) noexcept;
+
 private:
     void exchange();
     void notify();
     void refresh_components();
+    [[nodiscard]] obs::StepRecord trace_totals() const noexcept;
+    void trace_step();
 
     EngineConfig config_;
     rng::Rng rng_;
@@ -168,6 +189,8 @@ private:
     double walk_seconds_{0.0};
     double rebuild_seconds_{0.0};
     double exchange_seconds_{0.0};
+    obs::StepTrace* trace_{nullptr};  ///< per-step trace sink (non-owning)
+    obs::StepRecord trace_prev_{};    ///< cumulative totals at the last traced step
 };
 
 }  // namespace smn::core

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "obs/process.hpp"
+#include "obs/registry.hpp"
 #include "rng/rng.hpp"
 
 namespace smn::exp {
@@ -50,6 +52,7 @@ std::vector<PointResult> run_points(const Scenario& scenario,
     const int threads = options.threads > 0 ? options.threads : sim::default_threads();
 
     using clock = std::chrono::steady_clock;
+    const auto pool_before = sim::ReplicationPool::instance().stats();
     const auto sweep_begin = clock::now();
     sim::ReplicationPool::instance().run_units(
         static_cast<int>(total), threads, [&](int unit) {
@@ -66,6 +69,27 @@ std::vector<PointResult> run_points(const Scenario& scenario,
         });
     const double sweep_wall =
         std::chrono::duration<double>(clock::now() - sweep_begin).count();
+    const auto pool_after = sim::ReplicationPool::instance().stats();
+    // Pass-level pool/process telemetry: units interleave across a
+    // pipelined sweep's points, so these figures describe the pass as a
+    // whole and are attached identically to each of its points (like
+    // sweep_wall_seconds).
+    const double pool_units = static_cast<double>((pool_after.units_pooled +
+                                                   pool_after.units_inline) -
+                                                  (pool_before.units_pooled +
+                                                   pool_before.units_inline));
+    const double pool_units_inline =
+        static_cast<double>(pool_after.units_inline - pool_before.units_inline);
+    const double pool_busy =
+        pool_after.worker_busy_seconds - pool_before.worker_busy_seconds;
+    const double peak_rss = static_cast<double>(obs::peak_rss_bytes());
+#if SMN_OBS_ENABLED
+    obs::Registry::instance().counter("pool.units").add(
+        static_cast<std::int64_t>(pool_units));
+    obs::Registry::instance().counter("pool.runs").add(pool_after.runs - pool_before.runs);
+    obs::Registry::instance().gauge("process.peak_rss_bytes").set_max(
+        obs::peak_rss_bytes());
+#endif
 
     std::vector<PointResult> results;
     results.reserve(points.size());
@@ -87,12 +111,31 @@ std::vector<PointResult> run_points(const Scenario& scenario,
                     result.phase_seconds[name.substr(7)] += value;
                     continue;
                 }
+                if (name.starts_with("obs.")) {
+                    // Reserved prefix: telemetry counters — build- and
+                    // host-dependent, diverted like timing.* (see
+                    // PointResult::counters).
+                    result.counters[name.substr(4)] += value;
+                    continue;
+                }
                 result.metrics[name].add(value);
                 if (name == "steps") result.steps += value;
             }
         }
         result.steps_per_second =
             result.wall_seconds > 0.0 ? result.steps / result.wall_seconds : 0.0;
+        if (!result.counters.empty()) {
+            result.counters["pool.units"] = pool_units;
+            result.counters["pool.units_inline"] = pool_units_inline;
+            result.counters["pool.workers"] = static_cast<double>(pool_after.workers);
+            result.counters["pool.worker_busy_s"] = pool_busy;
+            result.counters["process.peak_rss_bytes"] = peak_rss;
+            const auto agents = result.counters.find("agents");
+            if (agents != result.counters.end() && agents->second > 0.0) {
+                result.counters["process.rss_bytes_per_agent"] =
+                    peak_rss / (agents->second / static_cast<double>(reps));
+            }
+        }
         results.push_back(std::move(result));
     }
     return results;

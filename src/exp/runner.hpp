@@ -68,6 +68,14 @@ struct PointResult {
     /// under --timings) instead of the deterministic metrics block.
     std::map<std::string, double> phase_seconds;
 
+    /// Telemetry counters, summed across replications. Fed by metrics with
+    /// the reserved "obs." prefix (engine/scenario tallies), plus the
+    /// pool/process figures the runner injects per pass. Host- and
+    /// build-dependent — emitted only under --counters, exactly like
+    /// phase_seconds under --timings, so default output stays
+    /// deterministic.
+    std::map<std::string, double> counters;
+
     /// Sample for `name`; throws std::out_of_range when no replication
     /// reported it.
     [[nodiscard]] const stats::Sample& metric(const std::string& name) const;

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <ostream>
 
+#include "obs/provenance.hpp"
+#include "obs/registry.hpp"
 #include "stats/table.hpp"
 
 namespace smn::exp {
@@ -79,6 +81,16 @@ void JsonlWriter::write(const PointResult& result) {
         append_stats_object(line, sample);
     }
     line += '}';
+    if (counters_ && !result.counters.empty()) {
+        line += ",\"counters\":{";
+        bool first_counter = true;
+        for (const auto& [name, value] : result.counters) {
+            if (!first_counter) line += ',';
+            first_counter = false;
+            line += '"' + json_escape(name) + "\":" + json_number(value);
+        }
+        line += '}';
+    }
     if (timings_) {
         line += ",\"timing\":{\"wall_s\":" + json_number(result.wall_seconds);
         line += ",\"sweep_wall_s\":" + json_number(result.sweep_wall_seconds);
@@ -134,8 +146,94 @@ void CsvWriter::write(const PointResult& result) {
         }
         table.add_row(std::move(row));
     }
+    if (counters_) {
+        // Counters are per-point sums, not replication samples — render
+        // them as "counter.<name>" rows with the value in the mean column
+        // so long-format consumers pick them up without a schema change.
+        for (const auto& [name, value] : result.counters) {
+            std::vector<std::string> row{result.scenario,
+                                         canonical_point(result.params),
+                                         std::to_string(result.seed),
+                                         std::to_string(result.reps),
+                                         "counter." + name,
+                                         std::to_string(result.reps),
+                                         format_double(value),
+                                         "",
+                                         "",
+                                         "",
+                                         ""};
+            if (timings_) {
+                row.push_back(format_double(result.wall_seconds));
+                row.push_back(format_double(result.sweep_wall_seconds));
+                row.push_back(format_double(result.steps_per_second));
+            }
+            table.add_row(std::move(row));
+        }
+    }
     table.print_csv(*os_, !wrote_header_);
     wrote_header_ = true;
+}
+
+void write_provenance(std::ostream& os, const RunProvenance& run) {
+    const auto info = obs::build_info();
+    std::string line = "{\"schema\":1,\"record\":\"provenance\"";
+    line += ",\"git_sha\":\"" + json_escape(info.git_sha) + '"';
+    line += ",\"build_type\":\"" + json_escape(info.build_type) + '"';
+    line += ",\"simd\":\"" + json_escape(info.simd_backend) + '"';
+    line += ",\"obs_enabled\":";
+    line += info.obs_enabled ? "true" : "false";
+    line += ",\"threads\":" + std::to_string(run.threads);
+    line += ",\"step_threads\":" + std::to_string(run.step_threads);
+    line += ",\"seed\":" + std::to_string(run.seed);
+    line += ",\"reps\":" + std::to_string(run.reps);
+    line += "}\n";
+    os << line;
+}
+
+void write_counters_total(std::ostream& os) {
+    auto& registry = obs::Registry::instance();
+    std::string line = "{\"schema\":1,\"record\":\"counters_total\"";
+    line += ",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, value] : registry.counters_snapshot()) {
+        if (!first) line += ',';
+        first = false;
+        line += '"' + json_escape(name) + "\":" + std::to_string(value);
+    }
+    line += '}';
+    const auto gauges = registry.gauges_snapshot();
+    if (!gauges.empty()) {
+        line += ",\"gauges\":{";
+        first = true;
+        for (const auto& [name, value] : gauges) {
+            if (!first) line += ',';
+            first = false;
+            line += '"' + json_escape(name) + "\":" + std::to_string(value);
+        }
+        line += '}';
+    }
+    bool any_hist = false;
+    registry.for_each_histogram([&](const std::string& name, const obs::Histogram& hist) {
+        line += any_hist ? "," : ",\"histograms\":{";
+        any_hist = true;
+        line += '"' + json_escape(name) + "\":{\"count\":" + std::to_string(hist.count());
+        line += ",\"sum\":" + std::to_string(hist.sum());
+        line += ",\"buckets\":[";
+        // Trailing zero buckets are elided: the array holds buckets
+        // 0..last-nonzero of the power-of-two histogram.
+        int last = -1;
+        for (int i = 0; i < obs::Histogram::kBuckets; ++i) {
+            if (hist.bucket(i) != 0) last = i;
+        }
+        for (int i = 0; i <= last; ++i) {
+            if (i) line += ',';
+            line += std::to_string(hist.bucket(i));
+        }
+        line += "]}";
+    });
+    if (any_hist) line += '}';
+    line += "}\n";
+    os << line;
 }
 
 }  // namespace smn::exp

@@ -16,6 +16,7 @@
 // including it would break byte-level comparison (see Meter).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -33,29 +34,53 @@ namespace smn::exp {
 /// Emits one JSON object per PointResult on a single line.
 class JsonlWriter {
 public:
-    /// `timings` adds the host-dependent "timing" object to each record.
-    explicit JsonlWriter(std::ostream& os, bool timings = false)
-        : os_{&os}, timings_{timings} {}
+    /// `timings` adds the host-dependent "timing" object to each record;
+    /// `counters` adds the build-dependent "counters" object. Both are
+    /// opt-in so the default output stays byte-identical across hosts.
+    explicit JsonlWriter(std::ostream& os, bool timings = false, bool counters = false)
+        : os_{&os}, timings_{timings}, counters_{counters} {}
 
     void write(const PointResult& result);
 
 private:
     std::ostream* os_;
     bool timings_;
+    bool counters_;
 };
 
 /// Long-format CSV: header once, then one row per metric per point.
 class CsvWriter {
 public:
-    explicit CsvWriter(std::ostream& os, bool timings = false)
-        : os_{&os}, timings_{timings} {}
+    explicit CsvWriter(std::ostream& os, bool timings = false, bool counters = false)
+        : os_{&os}, timings_{timings}, counters_{counters} {}
 
     void write(const PointResult& result);
 
 private:
     std::ostream* os_;
     bool timings_;
+    bool counters_;
     bool wrote_header_{false};
 };
+
+/// Run-level context for the provenance header record.
+struct RunProvenance {
+    int threads{0};        ///< resolved replication thread count
+    int step_threads{0};   ///< resolved intra-step thread count
+    std::uint64_t seed{0};
+    int reps{0};
+};
+
+/// Writes the `{"record":"provenance",...}` header line: schema version,
+/// git sha / build type / SIMD backend baked in at configure time, whether
+/// telemetry was compiled in, and the run's thread/seed/reps context.
+/// Host-dependent — the lab emits it only under --timings/--counters.
+void write_provenance(std::ostream& os, const RunProvenance& run);
+
+/// Writes the `{"record":"counters_total",...}` trailer line: the
+/// process-wide obs::Registry snapshot (counters, gauges, histograms)
+/// accumulated over the whole run, including the "engine."-prefixed
+/// flushes from destroyed engines. Only meaningful under --counters.
+void write_counters_total(std::ostream& os);
 
 }  // namespace smn::exp

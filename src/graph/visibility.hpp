@@ -62,6 +62,7 @@
 #include "graph/dsu.hpp"
 #include "grid/grid.hpp"
 #include "grid/point.hpp"
+#include "obs/tally.hpp"
 #include "spatial/bucket_index.hpp"
 #include "spatial/occupancy.hpp"
 #include "util/worker_pool.hpp"
@@ -73,6 +74,22 @@ namespace smn::graph {
 /// worker pool allocated.
 class VisibilityGraphBuilder {
 public:
+    /// Cumulative scan telemetry. The unit- and pass-level counts are
+    /// maintained unconditionally (tests assert on them in every build
+    /// configuration); the per-pair and per-edge tallies compile out under
+    /// -DSMN_DISABLE_OBS and then read zero.
+    struct ScanStats {
+        std::int64_t passes{0};            ///< component passes (r >= 1)
+        std::int64_t bypass_passes{0};     ///< passes that bypassed the edge cache
+        std::int64_t replayed_units{0};    ///< units replayed from the cache
+        std::int64_t rescanned_units{0};   ///< units re-enumerated
+        std::int64_t dirty_buckets{0};     ///< dirty buckets consumed across passes
+        std::int64_t pairs_tested{0};      ///< candidate pairs distance-tested
+        std::int64_t pairs_survived{0};    ///< in-range pairs reaching the sink
+        std::int64_t edges_cached{0};      ///< spanning edges written by rescans
+        std::int64_t edges_replayed{0};    ///< spanning edges replayed from cache
+    };
+
     /// `radius` is the transmission radius r >= 0; `metric` defaults to the
     /// paper's Manhattan metric. The intra-step thread count is read from
     /// SMN_STEP_THREADS here (util::step_threads()).
@@ -122,8 +139,24 @@ public:
 
     /// Scan units replayed from the edge cache / rescanned since
     /// construction (diagnostics; also exercised by tests).
-    [[nodiscard]] std::int64_t replayed_units() const noexcept { return replayed_units_; }
-    [[nodiscard]] std::int64_t rescanned_units() const noexcept { return rescanned_units_; }
+    [[nodiscard]] std::int64_t replayed_units() const noexcept { return stats_.replayed_units; }
+    [[nodiscard]] std::int64_t rescanned_units() const noexcept {
+        return stats_.rescanned_units;
+    }
+
+    /// Full cumulative scan telemetry (see ScanStats).
+    [[nodiscard]] const ScanStats& scan_stats() const noexcept { return stats_; }
+
+    /// Telemetry of the underlying bucket index (zero-valued for r = 0).
+    [[nodiscard]] const spatial::BucketIndex::Stats& index_stats() const noexcept {
+        return buckets_.stats();
+    }
+
+    /// Occupied scan units right now (0 for r = 0, where there are no scan
+    /// units — the occupancy path visits cells, not buckets).
+    [[nodiscard]] std::int64_t occupied_units() const noexcept {
+        return radius_ >= 1 ? static_cast<std::int64_t>(buckets_.occupied_bucket_count()) : 0;
+    }
 
     /// Brute-force O(k²) reference builder used by tests.
     static void build_naive(std::span<const grid::Point> positions, std::int64_t radius,
@@ -146,6 +179,10 @@ private:
         std::vector<std::int32_t> parent;
         std::vector<std::uint64_t> stamp;
         std::uint64_t epoch{0};
+        // Per-worker pair tallies, drained into stats_ after each pass
+        // (plain fields: each worker owns one scratch for the pass).
+        std::int64_t pairs_tested{0};
+        std::int64_t pairs_survived{0};
     };
 
     /// Per-shard rescan output: surviving edges plus one count per bucket
@@ -207,18 +244,20 @@ private:
         const auto bi = static_cast<std::size_t>(bucket);
         const auto cur = static_cast<std::size_t>(seq_ & 1);
         if (replayable(bucket, force_rescan)) {
-            ++replayed_units_;
+            ++stats_.replayed_units;
             const auto prev = cur ^ 1;
+            SMN_TALLY(stats_.edges_replayed += entry_len_[prev][bi]);
             commit_entry(bi, arena_[prev].data() + entry_off_[prev][bi],
                          static_cast<std::size_t>(entry_len_[prev][bi]), dsu);
             return;
         }
-        ++rescanned_units_;
+        ++stats_.rescanned_units;
         auto& arena = arena_[cur];
         const auto start = arena.size();
         entry_off_[cur][bi] = static_cast<std::int32_t>(start);
         rescan(arena);
         entry_len_[cur][bi] = static_cast<std::int32_t>(arena.size() - start);
+        SMN_TALLY(stats_.edges_cached += entry_len_[cur][bi]);
         entry_stamp_[bi] = seq_;
     }
     [[nodiscard]] bool replayable(std::int64_t bucket, bool force_rescan) const noexcept {
@@ -265,8 +304,7 @@ private:
 
     bool timing_{false};
     double prep_seconds_{0.0};
-    std::int64_t replayed_units_{0};
-    std::int64_t rescanned_units_{0};
+    ScanStats stats_;  ///< cumulative scan telemetry (see ScanStats)
 };
 
 /// Summary of a component partition of k agents.

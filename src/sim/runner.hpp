@@ -13,6 +13,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <functional>
@@ -73,10 +74,35 @@ namespace smn::sim {
 /// which is always correct because results never depend on scheduling.
 class ReplicationPool {
 public:
+    /// Pool telemetry snapshot. The unit counters are always maintained
+    /// (they are cheap, one atomic per run_units call path, and the
+    /// counter-sanity tests read them in every build configuration);
+    /// worker_busy_seconds comes from the underlying WorkerPool and is
+    /// zero under -DSMN_DISABLE_OBS.
+    struct PoolStats {
+        std::int64_t runs{0};          ///< run_units dispatches
+        std::int64_t units_pooled{0};  ///< units executed via the worker pool
+        std::int64_t units_inline{0};  ///< units executed inline (serial/fallback)
+        double worker_busy_seconds{0.0};
+        int workers{0};                ///< pool threads currently alive
+    };
+
     /// The singleton every runner shares.
     [[nodiscard]] static ReplicationPool& instance() {
         static ReplicationPool pool;
         return pool;
+    }
+
+    /// Current telemetry totals. Safe to call between run_units calls
+    /// (runner code snapshots around a sweep pass).
+    [[nodiscard]] PoolStats stats() {
+        PoolStats out;
+        out.runs = runs_.load(std::memory_order_relaxed);
+        out.units_pooled = units_pooled_.load(std::memory_order_relaxed);
+        out.units_inline = units_inline_.load(std::memory_order_relaxed);
+        out.worker_busy_seconds = pool_.busy_seconds_total();
+        out.workers = pool_.workers();
+        return out;
     }
 
     /// Runs task(unit) for every unit in [0, units) over at most
@@ -84,8 +110,10 @@ public:
     /// all units are done; the calling thread participates. The first
     /// exception cancels undistributed units and is rethrown here.
     void run_units(int units, int threads, const std::function<void(int)>& task) {
+        runs_.fetch_add(1, std::memory_order_relaxed);
         const int workers = replication_workers(threads, units);
         if (workers <= 1 || busy_here()) {
+            units_inline_.fetch_add(units, std::memory_order_relaxed);
             for (int unit = 0; unit < units; ++unit) task(unit);
             return;
         }
@@ -93,9 +121,11 @@ public:
         if (!dispatch.owns_lock()) {
             // Another thread is mid-run: don't queue behind it, just run
             // inline — determinism never depended on the pool.
+            units_inline_.fetch_add(units, std::memory_order_relaxed);
             for (int unit = 0; unit < units; ++unit) task(unit);
             return;
         }
+        units_pooled_.fetch_add(units, std::memory_order_relaxed);
         busy_here() = true;
         pool_.ensure_workers(workers);
         const std::function<void(int, int)> shard = [&task](int unit, int) { task(unit); };
@@ -137,6 +167,11 @@ private:
 
     util::WorkerPool pool_;
     std::mutex dispatch_mutex_;
+    // Telemetry (see PoolStats). Atomics: the inline-fallback paths run
+    // concurrently with a pooled dispatch by design.
+    std::atomic<std::int64_t> runs_{0};
+    std::atomic<std::int64_t> units_pooled_{0};
+    std::atomic<std::int64_t> units_inline_{0};
 };
 
 /// Runs `reps` replications of `body` over at most `threads` workers of

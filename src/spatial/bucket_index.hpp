@@ -43,12 +43,23 @@
 
 #include "grid/grid.hpp"
 #include "grid/point.hpp"
+#include "obs/tally.hpp"
 
 namespace smn::spatial {
 
 /// Spatial hash over a Grid2D with square buckets.
 class BucketIndex {
 public:
+    /// Telemetry tallies (zero under -DSMN_DISABLE_OBS); cumulative over
+    /// the index's lifetime, never consulted by the index itself.
+    struct Stats {
+        std::int64_t moves{0};        ///< move() calls
+        std::int64_t relinks{0};      ///< moves that crossed a bucket boundary
+        std::int64_t dirty_marks{0};  ///< buckets stamped dirty (once per epoch)
+        std::int64_t rebuilds{0};     ///< rebuild() calls
+    };
+
+
     /// `bucket_side` must be >= 1. Radius queries work for any radius; the
     /// scan widens automatically when radius > bucket_side.
     BucketIndex(const grid::Grid2D& grid, grid::Coord bucket_side)
@@ -92,6 +103,8 @@ public:
         return head_[static_cast<std::size_t>(bucket)] != -1;
     }
 
+    [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
     /// Calls `fn(agent_id)` for every agent currently linked into `bucket`.
     template <typename Fn>
     void for_each_in_bucket(std::int64_t bucket, Fn&& fn) const {
@@ -131,6 +144,7 @@ public:
         }
         occupied_.clear();
         clear_dirty();
+        SMN_TALLY(++stats_.rebuilds);
         const auto k = positions.size();
         next_.assign(k, -1);
         prev_.assign(k, -1);
@@ -149,6 +163,7 @@ public:
     /// destination buckets dirty; the re-link is a no-op when both map to
     /// the same bucket.
     void move(std::int32_t agent, grid::Point from, grid::Point to) {
+        SMN_TALLY(++stats_.moves);
         const auto a = static_cast<std::size_t>(agent);
         assert(a < next_.size() && "BucketIndex::move before rebuild");
         assert(agent_bx_[a] == from.x / side_ && agent_by_[a] == from.y / side_ &&
@@ -169,6 +184,7 @@ public:
         }
         mark_dirty(std::int64_t{by} * buckets_x_ + bx);
         if (nbx == bx && nby == by) return;
+        SMN_TALLY(++stats_.relinks);
         mark_dirty(std::int64_t{nby} * buckets_x_ + nbx);
         // Unlink from the old bucket.
         const auto nxt = next_[a];
@@ -266,6 +282,7 @@ private:
         auto& stamp = dirty_stamp_[static_cast<std::size_t>(bucket)];
         if (stamp == dirty_epoch_) return;
         stamp = dirty_epoch_;
+        SMN_TALLY(++stats_.dirty_marks);
         dirty_list_.push_back(bucket);
     }
 
@@ -300,6 +317,7 @@ private:
     std::vector<std::int64_t> dirty_list_;    ///< buckets dirtied this epoch
     std::uint64_t dirty_epoch_{1};            ///< current epoch (0 = never dirty)
     std::span<const grid::Point> points_;     ///< view of the indexed storage
+    Stats stats_;                             ///< telemetry tallies (obs/tally.hpp)
 };
 
 }  // namespace smn::spatial

@@ -27,13 +27,17 @@
 // worker count by step_threads() so the product never oversubscribes.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdlib>
 #include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/tally.hpp"
 
 namespace smn::util {
 
@@ -58,7 +62,16 @@ namespace smn::util {
 /// the shard — use it to index per-thread scratch.
 class WorkerPool {
 public:
+    /// Per-worker telemetry (zero under -DSMN_DISABLE_OBS): shards run and
+    /// wall-clock spent inside task bodies, cumulative over the pool's
+    /// lifetime.
+    struct WorkerStats {
+        std::int64_t shards{0};
+        double busy_seconds{0.0};
+    };
+
     explicit WorkerPool(int workers) : workers_{workers < 1 ? 1 : workers} {
+        stats_.resize(static_cast<std::size_t>(workers_));
         threads_.reserve(static_cast<std::size_t>(workers_ - 1));
         for (int w = 1; w < workers_; ++w) {
             threads_.emplace_back([this, w] { worker_loop(w); });
@@ -79,6 +92,21 @@ public:
 
     [[nodiscard]] int workers() const noexcept { return workers_; }
 
+    /// Snapshot of the per-worker telemetry. Call between runs (it takes
+    /// the pool mutex, which drain() holds around its bookkeeping).
+    [[nodiscard]] std::vector<WorkerStats> worker_stats() {
+        std::lock_guard<std::mutex> lock{mutex_};
+        return stats_;
+    }
+
+    /// Sum of busy_seconds over all workers.
+    [[nodiscard]] double busy_seconds_total() {
+        std::lock_guard<std::mutex> lock{mutex_};
+        double total = 0.0;
+        for (const auto& s : stats_) total += s.busy_seconds;
+        return total;
+    }
+
     /// Grows the pool to at least `workers` threads. Must not overlap a
     /// run() (callers serialize externally — sim::ReplicationPool holds
     /// its dispatch lock across ensure_workers + run).
@@ -88,6 +116,7 @@ public:
             // Workers park on `wake_` between runs; taking the lock here
             // orders the growth against their predicate reads.
             std::lock_guard<std::mutex> lock{mutex_};
+            stats_.resize(static_cast<std::size_t>(workers));
             for (int w = workers_; w < workers; ++w) {
                 threads_.emplace_back([this, w] { worker_loop(w); });
             }
@@ -106,7 +135,16 @@ public:
             max_workers <= 0 ? workers_ : (max_workers < workers_ ? max_workers : workers_);
         if (active > shards) active = shards;
         if (active <= 1) {
+            const auto begin = obs::kEnabled ? std::chrono::steady_clock::now()
+                                             : std::chrono::steady_clock::time_point{};
             for (int s = 0; s < shards; ++s) task(s, 0);  // exceptions propagate directly
+            if constexpr (obs::kEnabled) {
+                std::lock_guard<std::mutex> lock{mutex_};
+                stats_[0].shards += shards;
+                stats_[0].busy_seconds +=
+                    std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+                        .count();
+            }
             return;
         }
         {
@@ -141,13 +179,24 @@ private:
             ++in_flight_;
             const auto* task = task_;
             lock.unlock();
+            const auto begin = obs::kEnabled ? std::chrono::steady_clock::now()
+                                             : std::chrono::steady_clock::time_point{};
             std::exception_ptr error;
             try {
                 (*task)(s, worker);
             } catch (...) {
                 error = std::current_exception();
             }
+            const auto busy = obs::kEnabled ? std::chrono::duration<double>(
+                                                  std::chrono::steady_clock::now() - begin)
+                                                  .count()
+                                            : 0.0;
             lock.lock();
+            if constexpr (obs::kEnabled) {
+                auto& ws = stats_[static_cast<std::size_t>(worker)];
+                ++ws.shards;
+                ws.busy_seconds += busy;
+            }
             --in_flight_;
             if (error) {
                 if (!error_) error_ = error;
@@ -182,6 +231,7 @@ private:
     int in_flight_{0};
     std::exception_ptr error_;
     bool stop_{false};
+    std::vector<WorkerStats> stats_;  ///< per-worker telemetry, mutex-guarded
 };
 
 }  // namespace smn::util

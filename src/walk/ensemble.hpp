@@ -41,6 +41,7 @@
 
 #include "grid/grid.hpp"
 #include "grid/point.hpp"
+#include "obs/tally.hpp"
 #include "rng/rng.hpp"
 #include "util/simd.hpp"
 #include "walk/decode.hpp"
@@ -54,6 +55,16 @@ using AgentId = std::int32_t;
 /// k agents on a Grid2D, stepped synchronously.
 class AgentEnsemble {
 public:
+    /// Telemetry tallies of the batched step kernel (zero under
+    /// -DSMN_DISABLE_OBS): how many RNG blocks took the vectorized decode
+    /// vs the exact scalar replay (Lemire rejection, or ablation walks
+    /// that never decode in bulk).
+    struct DecodeStats {
+        std::int64_t blocks_decoded{0};  ///< blocks decoded rejection-free
+        std::int64_t blocks_scalar{0};   ///< blocks replayed word-by-word
+    };
+
+
     /// Creates k agents placed uniformly and independently at random.
     /// Throws std::invalid_argument if k < 1.
     AgentEnsemble(const grid::Grid2D& grid, std::int32_t k, rng::Rng& rng,
@@ -95,6 +106,8 @@ public:
 
     [[nodiscard]] const grid::Grid2D& grid() const noexcept { return grid_; }
     [[nodiscard]] WalkKind kind() const noexcept { return kind_; }
+
+    [[nodiscard]] const DecodeStats& decode_stats() const noexcept { return decode_stats_; }
 
     [[nodiscard]] grid::Point position(AgentId a) const noexcept {
         assert(a >= 0 && a < count());
@@ -145,8 +158,10 @@ public:
             const std::size_t len = std::min(kBlockSize, count - base);
             block_.fill(rng, len);
             if (decode_block(len)) {
+                SMN_TALLY(++decode_stats_.blocks_decoded);
                 apply_block(base, len, width, height, on_move);
             } else {
+                SMN_TALLY(++decode_stats_.blocks_scalar);
                 for (std::size_t i = 0; i < len; ++i) {
                     const auto a = base + i;
                     apply(a, direction_mask(xs_[a], ys_[a], width, height),
@@ -208,6 +223,7 @@ private:
             const std::size_t len = std::min(kBlockSize, count - base);
             block_.fill(rng, len);
             if (kind_ == WalkKind::kLazyPaper && decode_block(len)) {
+                SMN_TALLY(++decode_stats_.blocks_decoded);
                 // Common path: every buffered word decoded rejection-free.
                 for (std::size_t i = 0; i < len; ++i) {
                     const auto a = index_of(base + i);
@@ -218,6 +234,7 @@ private:
                 // Exact scalar path: ablation walks, and the ~2^-64 case of
                 // a Lemire rejection inside the block. Consumes the same
                 // buffered words through BlockRng, so the stream matches.
+                SMN_TALLY(++decode_stats_.blocks_scalar);
                 for (std::size_t i = 0; i < len; ++i) {
                     const auto a = index_of(base + i);
                     const auto mask = direction_mask(xs_[a], ys_[a], width, height);
@@ -328,6 +345,7 @@ private:
     rng::BlockRng block_;                   ///< block-drawn raw RNG words
     std::vector<std::int32_t> draws_;       ///< decoded u per block slot (int32: SIMD lane width)
     std::vector<std::int32_t> moving_;      ///< scratch: step_subset selection
+    DecodeStats decode_stats_;              ///< telemetry tallies (obs/tally.hpp)
 };
 
 }  // namespace smn::walk

@@ -19,6 +19,7 @@
 #include "exp/scenarios.hpp"
 #include "exp/sweep.hpp"
 #include "exp/writer.hpp"
+#include "obs/registry.hpp"
 #include "rng/rng.hpp"
 
 namespace {
@@ -555,6 +556,69 @@ TEST(JsonlWriter, TimingsAreOptIn) {
     // sweep_wall_s is the end-to-end wall clock of the pipelined pass this
     // point was part of; wall_s sums per-replication cost.
     EXPECT_GE(record.at("timing").at("sweep_wall_s").number(), 0.0);
+}
+
+TEST(JsonlWriter, CountersAreOptInAndDivertedFromObsMetrics) {
+    // A scenario reporting metrics under the reserved "obs." prefix: the
+    // runner must divert them into PointResult::counters (summed across
+    // replications) and never into the deterministic metrics block.
+    auto scenario = synthetic_scenario();
+    scenario.run_rep = [](const exp::ScenarioParams& p, std::uint64_t) {
+        exp::Metrics m;
+        m["value"] = static_cast<double>(p.get_int("a"));
+        m["obs.scan.units_rescanned"] = 5.0;
+        m["obs.agents"] = 3.0;
+        return m;
+    };
+    exp::RunOptions options;
+    options.reps = 4;
+    const auto result = exp::run_point(scenario, {}, options);
+    EXPECT_THROW((void)result.metric("obs.scan.units_rescanned"), std::out_of_range);
+    EXPECT_DOUBLE_EQ(result.counters.at("scan.units_rescanned"), 20.0);
+    // Pass-level injections ride along once any obs.* metric was reported.
+    EXPECT_TRUE(result.counters.contains("pool.units"));
+    EXPECT_TRUE(result.counters.contains("process.peak_rss_bytes"));
+    EXPECT_TRUE(result.counters.contains("process.rss_bytes_per_agent"));
+
+    std::ostringstream plain;
+    exp::JsonlWriter{plain}.write(result);
+    EXPECT_FALSE(check_record(plain.str()).has("counters"));  // opt-in
+
+    std::ostringstream with;
+    exp::JsonlWriter{with, /*timings=*/false, /*counters=*/true}.write(result);
+    const auto record = check_record(with.str());
+    ASSERT_TRUE(record.has("counters"));
+    EXPECT_EQ(record.at("counters").at("scan.units_rescanned").number(), 20.0);
+    EXPECT_EQ(record.at("counters").at("agents").number(), 12.0);
+}
+
+TEST(Writer, ProvenanceRecordCarriesBuildAndRunContext) {
+    exp::RunProvenance run;
+    run.threads = 4;
+    run.step_threads = 2;
+    run.seed = 77;
+    run.reps = 3;
+    std::ostringstream os;
+    exp::write_provenance(os, run);
+    const auto record = parse_json(os.str());
+    EXPECT_EQ(record.at("record").str(), "provenance");
+    EXPECT_EQ(record.at("schema").number(), 1.0);
+    EXPECT_FALSE(record.at("git_sha").str().empty());
+    EXPECT_FALSE(record.at("simd").str().empty());
+    EXPECT_EQ(record.at("threads").number(), 4.0);
+    EXPECT_EQ(record.at("step_threads").number(), 2.0);
+    EXPECT_EQ(record.at("seed").number(), 77.0);
+    EXPECT_EQ(record.at("reps").number(), 3.0);
+}
+
+TEST(Writer, CountersTotalSnapshotsTheRegistry) {
+    obs::Registry::instance().reset_all();
+    obs::Registry::instance().counter("test.writer_total").add(42);
+    std::ostringstream os;
+    exp::write_counters_total(os);
+    const auto record = parse_json(os.str());
+    EXPECT_EQ(record.at("record").str(), "counters_total");
+    EXPECT_EQ(record.at("counters").at("test.writer_total").number(), 42.0);
 }
 
 TEST(JsonlWriter, EscapesAndNonFiniteNumbers) {

@@ -29,8 +29,10 @@
 #include "exp/scenarios.hpp"
 #include "exp/sweep.hpp"
 #include "exp/writer.hpp"
+#include "obs/step_trace.hpp"
 #include "sim/args.hpp"
 #include "stats/table.hpp"
+#include "util/worker_pool.hpp"
 
 namespace {
 
@@ -133,6 +135,12 @@ int run(int argc, char** argv) {
     const std::string out_path = args.get_string("out", "-");
     std::string format = args.get_string("format", "");
     const bool timings = args.get_flag("timings");
+    // Telemetry opt-ins, both host/build-dependent (never in default
+    // output): --counters appends the per-record "counters" object plus a
+    // run-level counters_total line; --trace=FILE dumps the per-step
+    // timeline of one replication (the first engine constructed).
+    const bool counters = args.get_flag("counters");
+    const std::string trace_path = args.get_string("trace", "");
     // Progress/ETA: on for interactive runs, opt-in (--progress) for
     // redirected ones, opt-out (--no-progress) everywhere.
     const bool force_progress = args.get_flag("progress");
@@ -178,8 +186,25 @@ int run(int argc, char** argv) {
     if (format != "jsonl" && format != "csv") {
         throw std::invalid_argument("--format must be jsonl or csv, got '" + format + "'");
     }
-    exp::JsonlWriter jsonl{os, timings};
-    exp::CsvWriter csv{os, timings};
+    exp::JsonlWriter jsonl{os, timings, counters};
+    exp::CsvWriter csv{os, timings, counters};
+    if ((timings || counters) && format == "jsonl") {
+        // First line of the stream: run provenance. Behind the opt-ins so
+        // the default output stays byte-identical across hosts and builds
+        // (scripts/lab_quick.sh checks exactly that).
+        exp::RunProvenance prov;
+        prov.threads = options.threads > 0 ? options.threads : sim::default_threads();
+        prov.step_threads = util::step_threads();
+        prov.seed = options.seed;
+        prov.reps = options.reps;
+        exp::write_provenance(os, prov);
+    }
+
+    // --trace: arm a step-trace ring; the first BroadcastProcess
+    // constructed afterwards claims it (obs::claim_trace) and records one
+    // replication's per-step timeline. Observational only.
+    obs::StepTrace trace;
+    if (!trace_path.empty()) obs::arm_trace(&trace);
 
     const bool tty = isatty(fileno(stderr)) != 0;
     ProgressReporter progress{tty};
@@ -206,6 +231,21 @@ int run(int argc, char** argv) {
                 jsonl.write(result);
             }
         }
+    }
+    if (!trace_path.empty()) {
+        obs::disarm_trace();
+        const auto parent = std::filesystem::path{trace_path}.parent_path();
+        if (!parent.empty()) std::filesystem::create_directories(parent);
+        std::ofstream trace_file{trace_path, std::ios::trunc};
+        if (!trace_file) throw std::runtime_error("cannot open --trace=" + trace_path);
+        trace.write_json(trace_file);
+        std::cerr << "[smn_lab] wrote " << trace_path << " (" << trace.size()
+                  << " traced step(s))\n";
+    }
+    if (counters && format == "jsonl") {
+        // Run-level trailer: the process-wide registry totals, including
+        // the "engine." flushes of every engine destroyed during the run.
+        exp::write_counters_total(os);
     }
     if (out_path != "-") {
         std::cerr << "[smn_lab] wrote " << out_path << " (" << format << ")\n";
