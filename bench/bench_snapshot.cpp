@@ -1,0 +1,84 @@
+// bench_snapshot — checkpoint write/restore cost (docs/robustness.md).
+//
+// Not a paper experiment: this measures the engineering overhead of
+// io::save_snapshot / io::load_broadcast_snapshot at the perf-gate's
+// engine scale, so the BENCH record can state what a checkpoint costs
+// next to what a step costs. Restores are also sanity-checked against
+// the live engine (time and informed count must survive the round trip).
+//
+// The trailing "SNAPSHOT_JSON {...}" line is machine-readable;
+// scripts/perf_baseline.sh merges it into BENCH_PR8.json as
+// snapshot_cost.
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "io/snapshot.hpp"
+
+int main(int argc, char** argv) {
+    using namespace smn;
+    using clock = std::chrono::steady_clock;
+
+    sim::Args args{argc, argv};
+    core::EngineConfig config;
+    config.side = static_cast<grid::Coord>(args.get_int("side", args.quick() ? 64 : 256));
+    config.k = static_cast<std::int32_t>(args.get_int("k", args.quick() ? 256 : 4096));
+    config.radius = args.get_int("radius", 2);
+    config.seed = static_cast<std::uint64_t>(args.get_int("seed", 20110603));
+    const auto steps = args.get_int("steps", 50);
+    const auto iters = static_cast<int>(args.get_int("iters", 9));
+    args.reject_unknown();
+
+    bench::print_header("SNAP", "engine checkpoint save/restore cost",
+                        "engineering guard, not a paper claim");
+    std::cout << "side = " << config.side << ", k = " << config.k
+              << ", radius = " << config.radius << ", snapshot after " << steps
+              << " step(s), best of " << iters << "\n\n";
+
+    core::BroadcastProcess process{config};
+    for (int s = 0; s < steps; ++s) process.step();
+
+    const auto path = (std::filesystem::temp_directory_path() /
+                       "smn_bench_snapshot.snap")
+                          .string();
+    double best_save_s = 1e30;
+    double best_load_s = 1e30;
+    for (int i = 0; i < iters; ++i) {
+        const auto save_begin = clock::now();
+        io::save_snapshot(path, process.capture());
+        best_save_s = std::min(
+            best_save_s, std::chrono::duration<double>(clock::now() - save_begin).count());
+
+        const auto load_begin = clock::now();
+        core::BroadcastProcess restored{io::load_broadcast_snapshot(path)};
+        best_load_s = std::min(
+            best_load_s, std::chrono::duration<double>(clock::now() - load_begin).count());
+
+        if (restored.time() != process.time() ||
+            restored.rumor().informed_count() != process.rumor().informed_count()) {
+            throw std::runtime_error("bench_snapshot: restore does not match the live engine");
+        }
+    }
+    const auto bytes = static_cast<std::int64_t>(std::filesystem::file_size(path));
+    std::filesystem::remove(path);
+
+    stats::Table table{{"what", "best", "per agent"}};
+    table.add_row({"save", stats::fmt(best_save_s * 1e3, 3) + " ms",
+                   stats::fmt(best_save_s * 1e9 / config.k, 1) + " ns"});
+    table.add_row({"load+rebuild", stats::fmt(best_load_s * 1e3, 3) + " ms",
+                   stats::fmt(best_load_s * 1e9 / config.k, 1) + " ns"});
+    table.add_row({"snapshot size", stats::fmt(bytes) + " B",
+                   stats::fmt(static_cast<double>(bytes) / config.k, 1) + " B"});
+    bench::emit(table, args);
+
+    std::cout << "\nSNAPSHOT_JSON {\"side\":" << config.side << ",\"k\":" << config.k
+              << ",\"steps\":" << steps << ",\"bytes\":" << bytes
+              << ",\"save_ms\":" << best_save_s * 1e3
+              << ",\"load_ms\":" << best_load_s * 1e3 << "}\n";
+    return 0;
+}

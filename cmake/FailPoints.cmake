@@ -1,0 +1,23 @@
+# Configure-time switch for src/util/failpoint.hpp (fault injection).
+#
+# Every smn target compiles against the interface library
+# smn::failpoint_flags so the whole build agrees on ONE fault-injection
+# configuration — mixing units with and without SMN_DISABLE_FAILPOINTS
+# would change which sites a header-inlined path evaluates depending on
+# who compiled it (the same ODR hazard Obs.cmake guards against).
+#
+#  * -DSMN_DISABLE_FAILPOINTS=ON — compile every util::failpoint() /
+#    util::failpoint_fires() site down to a constant no-op. The default
+#    (OFF) build keeps the sites compiled in but dormant: with no
+#    SMN_FAILPOINTS environment spec they cost one inline nullptr check,
+#    and CI proves trajectories stay bit-identical either way.
+
+option(SMN_DISABLE_FAILPOINTS "Compile out the fault-injection sites" OFF)
+
+add_library(smn_failpoint_flags INTERFACE)
+add_library(smn::failpoint_flags ALIAS smn_failpoint_flags)
+
+if(SMN_DISABLE_FAILPOINTS)
+  target_compile_definitions(smn_failpoint_flags INTERFACE SMN_DISABLE_FAILPOINTS=1)
+  message(STATUS "smn: fault-injection sites compiled out (SMN_DISABLE_FAILPOINTS)")
+endif()

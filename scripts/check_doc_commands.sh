@@ -24,7 +24,7 @@ shift || true
 docs=("$@")
 if [ "${#docs[@]}" -eq 0 ]; then
     docs=(README.md docs/architecture.md docs/experiments.md docs/performance.md
-          docs/observability.md)
+          docs/observability.md docs/robustness.md)
 fi
 
 if [ ! -x "${build_dir}/smn_lab" ]; then
@@ -63,6 +63,14 @@ failed=0
 for doc in "${docs[@]}"; do
     [ -f "${doc}" ] || { echo "check_doc_commands: missing doc ${doc}" >&2; exit 1; }
     while IFS= read -r cmd; do
+        # A leading SMN_FAILPOINTS=... assignment (the fault-injection
+        # examples in docs/robustness.md) becomes an `env` prefix.
+        env_cmd=()
+        if [[ "${cmd}" == SMN_FAILPOINTS=*./build/smn_lab\ * ]]; then
+            eval "env_tok=( ${cmd%%./build/smn_lab*} )"
+            env_cmd=(env "${env_tok[@]}")
+            cmd="./build/smn_lab ${cmd#*./build/smn_lab }"
+        fi
         case "${cmd}" in
             ./build/smn_lab\ *|"${build_dir}"/smn_lab\ *)
                 # Re-root, strip the expensive knobs, substitute cheap ones.
@@ -76,10 +84,18 @@ for doc in "${docs[@]}"; do
                     case "${arg}" in
                         --reps=*|--threads=*|--out=*|--progress|--no-progress) ;;
                         --trace=*) args+=("--trace=${tmp}/doc_cmd.trace") ;;
+                        # Journal/resume examples share one scratch journal:
+                        # a doc's --journal command writes it and the
+                        # --resume command that follows replays it (the
+                        # fingerprint matches because both run with the
+                        # substituted --reps/--seed).
+                        --journal=*) args+=("--journal=${tmp}/doc_cmd.journal") ;;
+                        --resume=*) args+=("--resume=${tmp}/doc_cmd.journal") ;;
                         *) args+=("${arg}") ;;
                     esac
                 done
-                run_cmd=("${build_dir}/smn_lab" "${args[@]}" --reps=1 --threads=2 \
+                run_cmd=("${env_cmd[@]}" "${build_dir}/smn_lab" "${args[@]}" \
+                         --reps=1 --threads=2 \
                          --no-progress --out="${tmp}/doc_cmd.out")
                 ;;
             ctest\ *)

@@ -10,7 +10,7 @@
 set -euo pipefail
 
 build_dir="${1:-build}"
-out_json="${2:-results/BENCH_PR7.json}"
+out_json="${2:-results/BENCH_PR8.json}"
 baseline_json="${3:-}"
 
 out_dir="$(dirname "${out_json}")"
@@ -37,4 +37,52 @@ if [ -n "${baseline_json}" ]; then
     python3 "$(dirname "$0")/perf_gate.py" "${jsonl}" "${out_json}" --baseline "${baseline_json}"
 else
     python3 "$(dirname "$0")/perf_gate.py" "${jsonl}" "${out_json}"
+fi
+
+# Journaling-overhead guard (docs/robustness.md): the smallest tracked
+# point, 96 sequential reps (~1s sweeps), seven interleaved runs per leg.
+# The journal appends one line per completed replication; best-of-7 sweep
+# wall-clock with --journal must stay within 2% of plain. The comparison
+# is min-vs-min over deliberately long runs: scheduler noise between whole
+# runs is far larger than the append cost, and only the minimum of enough
+# ~1s draws converges on the true floor (0.25s sweeps showed ±3% jitter
+# in the min itself, flakier than the 2% budget;
+# PERF_OVERHEAD_BUDGET_PCT overrides the budget on noisy runners).
+plain_jsonl="${out_dir}/overhead_plain.jsonl"
+journaled_jsonl="${out_dir}/overhead_journaled.jsonl"
+: > "${plain_jsonl}"
+: > "${journaled_jsonl}"
+overhead_sweep="side=128;k=1024;radius=rc;steps=400;mobility=all"
+for _ in 1 2 3 4 5 6 7; do
+    "${build_dir}/smn_lab" --scenario=step_throughput --sweep="${overhead_sweep}" \
+        --reps=96 --threads=1 --timings --out="${jsonl}.part"
+    cat "${jsonl}.part" >> "${plain_jsonl}"
+    "${build_dir}/smn_lab" --scenario=step_throughput --sweep="${overhead_sweep}" \
+        --reps=96 --threads=1 --timings --journal="${jsonl}.journal" --out="${jsonl}.part"
+    cat "${jsonl}.part" >> "${journaled_jsonl}"
+    rm -f "${jsonl}.part" "${jsonl}.journal"
+done
+python3 "$(dirname "$0")/perf_gate.py" check-overhead \
+    "${plain_jsonl}" "${journaled_jsonl}" --merge-into "${out_json}"
+
+# Checkpoint cost: best-of-N save/restore at the gate's engine scale,
+# recorded (not gated — a checkpoint is a rare, explicit operation; the
+# number is tracked so a format change that makes it expensive is
+# visible in the BENCH record diff).
+if [ -x "${build_dir}/bench_snapshot" ]; then
+    "${build_dir}/bench_snapshot" | tee "${out_dir}/bench_snapshot.txt"
+    snapshot_json="$(grep '^SNAPSHOT_JSON ' "${out_dir}/bench_snapshot.txt" | cut -d' ' -f2-)"
+    python3 - "$out_json" "$snapshot_json" <<'EOF'
+import json, sys
+path, snapshot = sys.argv[1], json.loads(sys.argv[2])
+with open(path) as fh:
+    bench = json.load(fh)
+bench["snapshot_cost"] = snapshot
+with open(path, "w") as fh:
+    json.dump(bench, fh, indent=2)
+    fh.write("\n")
+print(f"[perf-gate] merged snapshot_cost into {path}")
+EOF
+else
+    echo "[perf-gate] bench_snapshot not built — skipping snapshot_cost record"
 fi

@@ -5,6 +5,8 @@ and (optionally) gate it against a checked-in baseline.
 Usage:
   perf_gate.py <fresh.jsonl> <out.json> [--baseline BENCH_PR4.json]
                [--min-ratio 0.7]
+  perf_gate.py check-overhead <plain.jsonl> <journaled.jsonl>
+               [--budget-pct 2.0] [--merge-into BENCH_PR8.json]
 
 The fresh JSONL must have been produced with --timings. Each parameter
 point becomes one entry keyed by its canonical parameter string. With
@@ -13,6 +15,13 @@ point becomes one entry keyed by its canonical parameter string. With
 ">30% regression fails CI" contract (0.7 default leaves headroom for
 runner-to-runner machine variance; override with --min-ratio or the
 PERF_GATE_MIN_RATIO environment variable).
+
+check-overhead compares two timing runs of the same sweep — one plain,
+one with --journal — and fails if journaling costs more than budget-pct
+of sweep wall-clock on any point. Both files should hold several repeats
+of each point; the minimum wall per point is compared, which filters
+scheduler noise the way best-of-N benchmarking does (override the budget
+with --budget-pct or PERF_OVERHEAD_BUDGET_PCT).
 """
 import argparse
 import json
@@ -44,7 +53,86 @@ def derived_rates(counters):
     return rates
 
 
+def min_walls(jsonl_path):
+    """Minimum sweep wall-clock per parameter key across repeated records.
+    sweep_wall_s covers the whole pooled pass — journal appends included —
+    which is exactly the cost the overhead gate must see."""
+    walls = {}
+    with open(jsonl_path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if "record" in rec:
+                continue
+            timing = rec.get("timing")
+            if timing is None:
+                sys.exit("perf_gate: record without timing — rerun smn_lab with --timings")
+            wall = timing.get("sweep_wall_s", timing["wall_s"])
+            key = canonical_key(rec["params"])
+            walls[key] = min(walls.get(key, wall), wall)
+    if not walls:
+        sys.exit("perf_gate: no records in " + jsonl_path)
+    return walls
+
+
+def check_overhead(argv):
+    ap = argparse.ArgumentParser(prog="perf_gate.py check-overhead")
+    ap.add_argument("plain_jsonl")
+    ap.add_argument("journaled_jsonl")
+    ap.add_argument("--budget-pct", type=float,
+                    default=float(os.environ.get("PERF_OVERHEAD_BUDGET_PCT", "2.0")))
+    ap.add_argument("--merge-into", metavar="BENCH_JSON",
+                    help="record the measurement under 'journal_overhead' in "
+                         "an existing BENCH json")
+    args = ap.parse_args(argv)
+
+    plain = min_walls(args.plain_jsonl)
+    journaled = min_walls(args.journaled_jsonl)
+    points = []
+    failures = []
+    for key, base_wall in sorted(plain.items()):
+        if key not in journaled:
+            failures.append(f"point missing from journaled run: {key}")
+            continue
+        overhead_pct = (journaled[key] - base_wall) / base_wall * 100.0
+        status = "OK" if overhead_pct <= args.budget_pct else "OVER BUDGET"
+        print(f"[perf-gate] journal overhead {key}: plain {base_wall:.4f}s, "
+              f"journaled {journaled[key]:.4f}s → {overhead_pct:+.2f}% "
+              f"(budget {args.budget_pct:.1f}%) {status}")
+        points.append({
+            "key": key,
+            "plain_wall_s": base_wall,
+            "journaled_wall_s": journaled[key],
+            "overhead_pct": round(overhead_pct, 3),
+        })
+        if overhead_pct > args.budget_pct:
+            failures.append(
+                f"{key}: journaling costs {overhead_pct:.2f}% of sweep wall, "
+                f"budget is {args.budget_pct:.1f}%")
+
+    if args.merge_into:
+        with open(args.merge_into) as fh:
+            bench = json.load(fh)
+        bench["journal_overhead"] = {
+            "budget_pct": args.budget_pct,
+            "points": points,
+        }
+        with open(args.merge_into, "w") as fh:
+            json.dump(bench, fh, indent=2)
+            fh.write("\n")
+        print(f"[perf-gate] merged journal_overhead into {args.merge_into}")
+
+    if failures:
+        print("perf_gate: FAILED:\n  " + "\n  ".join(failures), file=sys.stderr)
+        sys.exit(1)
+
+
 def main():
+    if len(sys.argv) > 1 and sys.argv[1] == "check-overhead":
+        check_overhead(sys.argv[2:])
+        return
     ap = argparse.ArgumentParser()
     ap.add_argument("fresh_jsonl")
     ap.add_argument("out_json")

@@ -7,6 +7,7 @@
 #include "obs/process.hpp"
 #include "obs/registry.hpp"
 #include "rng/rng.hpp"
+#include "util/failpoint.hpp"
 
 namespace smn::exp {
 namespace {
@@ -52,21 +53,65 @@ std::vector<PointResult> run_points(const Scenario& scenario,
     const int threads = options.threads > 0 ? options.threads : sim::default_threads();
 
     using clock = std::chrono::steady_clock;
+
+    // Resume: units the journal already holds are replayed on the caller
+    // thread (the journal shares the JSONL writer's shortest-round-trip
+    // number encoding, so a replayed metric re-serializes to the exact
+    // bytes the uninterrupted run would have produced).
+    std::vector<std::uint8_t> replayed(total, 0);
+    if (options.journal != nullptr) {
+        for (std::size_t u = 0; u < total; ++u) {
+            const auto* prior = options.journal->find(scenario.name, static_cast<int>(u));
+            if (prior == nullptr) continue;
+            unit_metrics[u] = prior->metrics;
+            unit_seconds[u] = prior->wall_seconds;
+            replayed[u] = 1;
+            if (options.on_progress) {
+                options.on_progress(done.fetch_add(1, std::memory_order_relaxed) + 1, total);
+            }
+        }
+    }
+
+    std::atomic<std::size_t> skipped{0};
     const auto pool_before = sim::ReplicationPool::instance().stats();
     const auto sweep_begin = clock::now();
-    sim::ReplicationPool::instance().run_units(
-        static_cast<int>(total), threads, [&](int unit) {
+    auto failed_units = sim::ReplicationPool::instance().run_units_tolerant(
+        static_cast<int>(total), threads, options.retries, [&](int unit) {
             const auto u = static_cast<std::size_t>(unit);
+            if (replayed[u] != 0) return;
+            if (options.stop != nullptr &&
+                options.stop->load(std::memory_order_relaxed)) {
+                skipped.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
             const auto point = u / reps;
             const auto rep = u % reps;
+            util::failpoint("unit_body");
             const auto begin = clock::now();
             unit_metrics[u] = scenario.run_rep(
                 bound[point], rng::replication_seed(seeds[point], rep));
             unit_seconds[u] = std::chrono::duration<double>(clock::now() - begin).count();
+            if (options.journal != nullptr) {
+                io::JournalUnit entry;
+                entry.metrics = unit_metrics[u];
+                entry.wall_seconds = unit_seconds[u];
+                options.journal->record(scenario.name, unit, entry);
+            }
             if (options.on_progress) {
                 options.on_progress(done.fetch_add(1, std::memory_order_relaxed) + 1, total);
             }
         });
+    if (skipped.load(std::memory_order_relaxed) > 0) {
+        if (options.journal != nullptr) options.journal->sync();
+        throw Interrupted("run interrupted with " +
+                          std::to_string(skipped.load(std::memory_order_relaxed)) + " of " +
+                          std::to_string(total) + " units not run");
+    }
+    if (!failed_units.empty() && !options.tolerate_failures) {
+        // Fail-fast mode: surface the first failure (by unit index, so
+        // the choice is deterministic) with its original type.
+        std::rethrow_exception(failed_units.front().error);
+    }
     const double sweep_wall =
         std::chrono::duration<double>(clock::now() - sweep_begin).count();
     const auto pool_after = sim::ReplicationPool::instance().stats();
@@ -93,6 +138,7 @@ std::vector<PointResult> run_points(const Scenario& scenario,
 
     std::vector<PointResult> results;
     results.reserve(points.size());
+    std::size_t next_failure = 0;  // failed_units is sorted by unit index
     for (std::size_t point = 0; point < points.size(); ++point) {
         PointResult result;
         result.scenario = scenario.name;
@@ -100,6 +146,13 @@ std::vector<PointResult> run_points(const Scenario& scenario,
         result.reps = options.reps;
         result.seed = seeds[point];
         result.sweep_wall_seconds = sweep_wall;
+        while (next_failure < failed_units.size() &&
+               static_cast<std::size_t>(failed_units[next_failure].unit) < (point + 1) * reps) {
+            const auto& failure = failed_units[next_failure++];
+            result.failures.push_back({static_cast<int>(
+                                           static_cast<std::size_t>(failure.unit) % reps),
+                                       failure.attempts, failure.message});
+        }
         for (std::size_t rep = 0; rep < reps; ++rep) {
             const auto u = point * reps + rep;
             result.wall_seconds += unit_seconds[u];

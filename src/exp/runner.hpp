@@ -17,20 +17,32 @@
 // shifts the seeds (and thus the results) of the points already in it.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "exp/meter.hpp"
 #include "exp/scenario.hpp"
 #include "exp/sweep.hpp"
+#include "io/journal.hpp"
 #include "sim/runner.hpp"
 #include "stats/running_stats.hpp"
 
 namespace smn::exp {
+
+/// Thrown by run_point/run_sweep when a cooperative stop (RunOptions::
+/// stop, set by smn_lab's SIGINT/SIGTERM handler) interrupted the pass
+/// before every unit ran. Completed units are already in the journal, so
+/// the run can be finished later with --resume.
+class Interrupted : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
 
 /// Execution options shared by every point of a run.
 struct RunOptions {
@@ -38,6 +50,25 @@ struct RunOptions {
     std::uint64_t seed{20110601};        ///< base seed of the whole run
     int threads{0};                      ///< 0 → sim::default_threads()
     bool quick{false};                   ///< propagated from --quick
+    /// Extra attempts for a unit whose body throws (--retries). Retries
+    /// are sound because units are pure functions of their index: a retry
+    /// recomputes the identical result (see sim::ReplicationPool::
+    /// run_units_tolerant).
+    int retries{0};
+    /// When true, a unit that still throws after every retry is recorded
+    /// in PointResult::failures and the remaining units complete; when
+    /// false (default) the first failing unit's exception is rethrown
+    /// after the pass with its concrete type intact.
+    bool tolerate_failures{false};
+    /// Cooperative stop flag (nullptr = never stop). Checked before each
+    /// unit starts; once it reads true, unstarted units are skipped and
+    /// the pass ends by throwing Interrupted. In-flight units finish —
+    /// the journal only ever records complete units.
+    const std::atomic<bool>* stop{nullptr};
+    /// Optional sweep journal. Completed units found in it are replayed
+    /// without re-running (resume); units computed by this pass are
+    /// appended to it as they finish.
+    io::SweepJournal* journal{nullptr};
     /// Optional progress hook: called as on_progress(done, total) after
     /// each completed replication unit, where `total` counts every
     /// (point, replication) pair of the run. Invoked from worker threads
@@ -75,6 +106,17 @@ struct PointResult {
     /// phase_seconds under --timings, so default output stays
     /// deterministic.
     std::map<std::string, double> counters;
+
+    /// One replication of this point that kept throwing after every
+    /// retry (only populated under RunOptions::tolerate_failures).
+    struct UnitFailure {
+        int rep{-1};          ///< replication index within the point
+        int attempts{0};      ///< total attempts made (1 + retries)
+        std::string message;  ///< what() of the final exception
+    };
+    /// Replications excluded from the samples above because their body
+    /// failed every attempt; empty on a fully healthy point.
+    std::vector<UnitFailure> failures;
 
     /// Sample for `name`; throws std::out_of_range when no replication
     /// reported it.

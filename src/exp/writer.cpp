@@ -81,6 +81,21 @@ void JsonlWriter::write(const PointResult& result) {
         append_stats_object(line, sample);
     }
     line += '}';
+    if (!result.failures.empty()) {
+        // Failure fields appear only when something failed, so healthy
+        // runs stay byte-identical to builds that predate them.
+        line += ",\"failed_reps\":" + std::to_string(result.failures.size());
+        line += ",\"failures\":[";
+        bool first_failure = true;
+        for (const auto& failure : result.failures) {
+            if (!first_failure) line += ',';
+            first_failure = false;
+            line += "{\"rep\":" + std::to_string(failure.rep);
+            line += ",\"attempts\":" + std::to_string(failure.attempts);
+            line += ",\"error\":\"" + json_escape(failure.message) + "\"}";
+        }
+        line += ']';
+    }
     if (counters_ && !result.counters.empty()) {
         line += ",\"counters\":{";
         bool first_counter = true;
@@ -115,7 +130,11 @@ void JsonlWriter::write(const PointResult& result) {
         line += '}';
     }
     line += "}\n";
+    // One write + flush per record: a crash can only ever lose whole
+    // trailing lines, never leave a partial JSON object mid-file (the
+    // crash-resume pipeline depends on this).
     *os_ << line;
+    os_->flush();
 }
 
 void CsvWriter::write(const PointResult& result) {
@@ -171,7 +190,32 @@ void CsvWriter::write(const PointResult& result) {
         }
     }
     table.print_csv(*os_, !wrote_header_);
+    os_->flush();  // record-boundary flush, same contract as JsonlWriter
     wrote_header_ = true;
+}
+
+void write_failed_units(std::ostream& os, const std::vector<PointResult>& results) {
+    std::size_t failed = 0;
+    for (const auto& result : results) failed += result.failures.size();
+    if (failed == 0) return;
+    std::string line = "{\"schema\":1,\"record\":\"failed_units\"";
+    line += ",\"scenario\":\"" + json_escape(results.front().scenario) + '"';
+    line += ",\"failed_reps\":" + std::to_string(failed);
+    line += ",\"units\":[";
+    bool first = true;
+    for (const auto& result : results) {
+        for (const auto& failure : result.failures) {
+            if (!first) line += ',';
+            first = false;
+            line += "{\"params\":\"" + json_escape(canonical_point(result.params)) + '"';
+            line += ",\"rep\":" + std::to_string(failure.rep);
+            line += ",\"attempts\":" + std::to_string(failure.attempts);
+            line += ",\"error\":\"" + json_escape(failure.message) + "\"}";
+        }
+    }
+    line += "]}\n";
+    os << line;
+    os.flush();
 }
 
 void write_provenance(std::ostream& os, const RunProvenance& run) {
@@ -188,6 +232,7 @@ void write_provenance(std::ostream& os, const RunProvenance& run) {
     line += ",\"reps\":" + std::to_string(run.reps);
     line += "}\n";
     os << line;
+    os.flush();
 }
 
 void write_counters_total(std::ostream& os) {
@@ -234,6 +279,7 @@ void write_counters_total(std::ostream& os) {
     if (any_hist) line += '}';
     line += "}\n";
     os << line;
+    os.flush();
 }
 
 }  // namespace smn::exp

@@ -14,6 +14,12 @@
 // determinism acceptance test (`exp_test`) and `scripts/lab_quick.sh`
 // both check. Timing fields are opt-in: wall-clock depends on the host, so
 // including it would break byte-level comparison (see Meter).
+//
+// Crash atomicity: every writer flushes at record boundaries (one line =
+// one flush), so a crash mid-run can lose only whole trailing records —
+// never a torn line. Combined with the sweep journal (io/journal.hpp)
+// this makes interrupted runs resumable with byte-identical merged
+// output; see docs/robustness.md.
 #pragma once
 
 #include <cstdint>
@@ -76,6 +82,13 @@ struct RunProvenance {
 /// telemetry was compiled in, and the run's thread/seed/reps context.
 /// Host-dependent — the lab emits it only under --timings/--counters.
 void write_provenance(std::ostream& os, const RunProvenance& run);
+
+/// Writes the `{"schema":1,"record":"failed_units",...}` summary line
+/// listing every replication that failed all its attempts across the
+/// sweep's points (params, rep, attempts, final error). No-op when every
+/// unit succeeded, so healthy output is unchanged. `results` must all
+/// belong to one scenario (one summary record per scenario).
+void write_failed_units(std::ostream& os, const std::vector<PointResult>& results);
 
 /// Writes the `{"record":"counters_total",...}` trailer line: the
 /// process-wide obs::Registry snapshot (counters, gauges, histograms)

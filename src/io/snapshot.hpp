@@ -1,0 +1,79 @@
+// snapshot.hpp — versioned, checksummed engine checkpoints.
+//
+// Serializes the complete trajectory-determining state of a dissemination
+// engine (core::BroadcastState / core::GossipState — config, xoshiro256**
+// words, agent positions, rumor knowledge, step count) plus build
+// provenance into a little-endian binary file:
+//
+//   magic "SMNSNAP\0" | u32 version | u32 kind | provenance | payload | u32 CRC-32
+//
+// The CRC covers every byte before it, so truncation, bit rot, and torn
+// writes are all detected at load time and reported as SnapshotError with
+// a reason — never as a silently wrong simulation. Writes are atomic:
+// the bytes go to "<path>.tmp", are fsync'd, and rename() publishes them,
+// so a crash mid-save leaves either the old snapshot or the new one,
+// never a hybrid. Derived structures (BucketIndex, component partition,
+// visibility caches) are deliberately NOT serialized — they are pure
+// functions of the positions and are rebuilt by the engines' restore
+// constructors, which keeps the format small and the restore provably
+// consistent. docs/robustness.md documents the format byte by byte.
+//
+// Fail-point sites (util/failpoint.hpp): "snapshot_write" fails the save
+// before any bytes are written; "snapshot_truncate" silently publishes a
+// truncated file (simulating a non-atomic filesystem) so tests can prove
+// the loader rejects it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "core/engine.hpp"
+#include "core/gossip.hpp"
+
+namespace smn::io {
+
+/// Raised on any snapshot save/load failure: I/O errors, bad magic,
+/// version or kind mismatch, truncation, checksum mismatch, or state
+/// that fails engine validation. The message names the file and reason.
+class SnapshotError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Engine kind tags stored in the header.
+inline constexpr std::uint32_t kSnapshotBroadcast = 1;
+inline constexpr std::uint32_t kSnapshotGossip = 2;
+
+/// Current format version; loaders reject anything else.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Header fields readable without deserializing the payload.
+struct SnapshotInfo {
+    std::uint32_t version{0};
+    std::uint32_t kind{0};         ///< kSnapshotBroadcast / kSnapshotGossip
+    std::string git_sha;           ///< build that wrote the snapshot
+    std::string simd_backend;
+    bool obs_enabled{false};
+};
+
+/// Atomically writes a checkpoint (tmp + fsync + rename + directory
+/// fsync). Throws SnapshotError on I/O failure.
+void save_snapshot(const std::string& path, const core::BroadcastState& state);
+void save_snapshot(const std::string& path, const core::GossipState& state);
+
+/// Reads and verifies the header only (magic, version, provenance);
+/// cheap way to dispatch on kind before a full load.
+[[nodiscard]] SnapshotInfo snapshot_info(const std::string& path);
+
+/// Loads and fully verifies a checkpoint (CRC over the whole file).
+/// Throws SnapshotError on any integrity or kind mismatch.
+[[nodiscard]] core::BroadcastState load_broadcast_snapshot(const std::string& path);
+[[nodiscard]] core::GossipState load_gossip_snapshot(const std::string& path);
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) of a byte range — the
+/// checksum the snapshot and journal formats use; exposed for tests.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size) noexcept;
+
+}  // namespace smn::io

@@ -26,6 +26,11 @@ public:
     /// Seeds the underlying engine from a single 64-bit seed.
     explicit Rng(std::uint64_t seed = 0xC0FFEE5EEDULL) noexcept : engine_{seed} {}
 
+    /// Resumes from a captured engine (checkpoint/restore): the stream
+    /// continues exactly where engine().state() was taken. Precondition:
+    /// a state that arose from a seeded engine (never all zero).
+    explicit Rng(const Xoshiro256StarStar& engine) noexcept : engine_{engine} {}
+
     /// Raw 64 random bits.
     std::uint64_t next_u64() noexcept { return engine_(); }
 

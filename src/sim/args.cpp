@@ -32,6 +32,15 @@ double parse_double_strict(const std::string& text) {
 }  // namespace
 
 Args::Args(int argc, const char* const* argv) {
+    // Duplicate options are rejected rather than last-one-wins: a sweep
+    // command line is usually assembled by scripts, and a silently
+    // overridden `--seed` would change results without any symptom.
+    const auto reject_duplicate = [this](const std::string& key) {
+        if (values_.count(key) != 0 || flags_.count(key) != 0) {
+            throw std::invalid_argument("duplicate option --" + key +
+                                        " (each option may be given once)");
+        }
+    };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--", 0) != 0) {
@@ -47,10 +56,13 @@ Args::Args(int argc, const char* const* argv) {
             } else if (key == "help") {
                 help_ = true;
             } else {
+                reject_duplicate(key);
                 flags_.insert(key);
             }
         } else {
-            values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+            const std::string key = arg.substr(2, eq - 2);
+            reject_duplicate(key);
+            values_[key] = arg.substr(eq + 1);
         }
     }
 }
@@ -112,16 +124,29 @@ void Args::reject_unknown() const {
         print_help(std::cout);
         std::exit(0);
     }
+    // Collect every unknown before throwing, so a command line with
+    // several typos reports them all in one pass instead of one per run.
+    std::string unknowns;
+    std::size_t count = 0;
     for (const auto& [key, value] : values_) {
         if (key == "threads") continue;  // built-in, consumed via threads()
         if (!known_.count(key)) {
-            throw std::invalid_argument("unknown option --" + key + " (value '" + value + "')");
+            if (!unknowns.empty()) unknowns += ", ";
+            unknowns += "--" + key + " (value '" + value + "')";
+            ++count;
         }
     }
     for (const auto& key : flags_) {
         if (!known_.count(key)) {
-            throw std::invalid_argument("unknown flag --" + key);
+            if (!unknowns.empty()) unknowns += ", ";
+            unknowns += "--" + key + " (flag)";
+            ++count;
         }
+    }
+    if (count > 0) {
+        throw std::invalid_argument(
+            (count == 1 ? "unknown option " : "unknown options ") + unknowns +
+            "; --help lists the accepted ones");
     }
 }
 

@@ -6,8 +6,9 @@
 //   --threads=N  worker threads for replication runners (default:
 //                sim::default_threads(), which honors $SMN_THREADS)
 //   --help       print every declared key with its fallback value and exit
-// Unknown keys throw, so typos fail fast instead of silently running the
-// default experiment.
+// Unknown keys throw (all of them listed in one message), and duplicate
+// options throw, so typos and script-assembled double flags fail fast
+// instead of silently running the wrong experiment.
 //
 // The get_* calls double as declarations: each records its key, fallback,
 // and type, which is what --help prints. Harness mains therefore need no

@@ -16,8 +16,10 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -72,6 +74,16 @@ namespace smn::sim {
 /// run() from another thread, or a replication body recursively running
 /// replications — the new call falls back to inline serial execution,
 /// which is always correct because results never depend on scheduling.
+/// Record of one unit whose body kept throwing after every retry. The
+/// original exception is carried as an exception_ptr so callers that want
+/// fail-fast semantics can rethrow it with its concrete type intact.
+struct UnitFailure {
+    int unit{-1};          ///< unit index the failing body was given
+    int attempts{0};       ///< total attempts made (1 + retries)
+    std::string message;   ///< what() of the final exception
+    std::exception_ptr error;  ///< the final exception itself
+};
+
 class ReplicationPool {
 public:
     /// Pool telemetry snapshot. The unit counters are always maintained
@@ -136,6 +148,49 @@ public:
             throw;
         }
         busy_here() = false;
+    }
+
+    /// Fault-isolating variant of run_units: a throwing unit body is
+    /// retried up to `retries` more times, and if every attempt throws
+    /// the unit is recorded as a UnitFailure instead of cancelling the
+    /// dispatch — every healthy unit still completes. Retrying is sound
+    /// only because unit bodies are pure functions of their index (the
+    /// determinism contract): a retry re-derives the same seed and
+    /// recomputes the identical result. Returns failures sorted by unit
+    /// index (deterministic regardless of thread scheduling); empty means
+    /// every unit eventually succeeded.
+    [[nodiscard]] std::vector<UnitFailure> run_units_tolerant(
+        int units, int threads, int retries, const std::function<void(int)>& task) {
+        std::vector<UnitFailure> failures;
+        std::mutex failures_mutex;
+        const int attempts_allowed = 1 + std::max(retries, 0);
+        run_units(units, threads, [&](int unit) {
+            for (int attempt = 1;; ++attempt) {
+                try {
+                    task(unit);
+                    return;
+                } catch (...) {
+                    if (attempt < attempts_allowed) continue;
+                    UnitFailure failure;
+                    failure.unit = unit;
+                    failure.attempts = attempt;
+                    failure.error = std::current_exception();
+                    try {
+                        throw;
+                    } catch (const std::exception& e) {
+                        failure.message = e.what();
+                    } catch (...) {
+                        failure.message = "unknown exception";
+                    }
+                    const std::lock_guard<std::mutex> lock{failures_mutex};
+                    failures.push_back(std::move(failure));
+                    return;
+                }
+            }
+        });
+        std::sort(failures.begin(), failures.end(),
+                  [](const UnitFailure& a, const UnitFailure& b) { return a.unit < b.unit; });
+        return failures;
     }
 
     /// Runs `reps` replications of `body` and returns the per-replication

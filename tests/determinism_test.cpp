@@ -16,8 +16,11 @@
 //     the real scenarios, including the Frog model and step_throughput.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
 #include <sstream>
 #include <vector>
 
@@ -28,6 +31,7 @@
 #include "exp/scenarios.hpp"
 #include "exp/writer.hpp"
 #include "graph/visibility.hpp"
+#include "io/snapshot.hpp"
 #include "walk/ensemble.hpp"
 #include "walk/step.hpp"
 
@@ -76,6 +80,54 @@ TEST_P(GoldenBroadcast, ReproducesSeedImplementationBitForBit) {
     EXPECT_EQ(res.broadcast_time, g.broadcast_time);
     EXPECT_EQ(res.steps_run, g.steps_run);
     EXPECT_EQ(fnv1a_series(res.informed_series), g.series_hash);
+}
+
+// Checkpoint/restore must be invisible to trajectories: running to the
+// halfway point, capturing, round-tripping the state through a snapshot
+// file, and continuing in a NEW process object must reproduce the same
+// golden T_B and informed-series hash as the uninterrupted run — on
+// every golden config (both mobilities, all walk kinds, all metrics,
+// r = 0..5). This is the "restored engine is bit-identical" acceptance
+// gate of the crash-safety PR.
+TEST_P(GoldenBroadcast, CheckpointRestoreIsBitIdentical) {
+    const auto g = GetParam();
+    EngineConfig cfg;
+    cfg.side = g.side;
+    cfg.k = g.k;
+    cfg.radius = g.radius;
+    cfg.metric = static_cast<grid::Metric>(g.metric);
+    cfg.walk = static_cast<walk::WalkKind>(g.walk);
+    cfg.mobility = static_cast<Mobility>(g.mobility);
+    cfg.seed = g.seed;
+
+    const std::int64_t t_half = g.broadcast_time / 2;
+    std::vector<std::int32_t> series;
+
+    BroadcastProcess first{cfg};
+    series.push_back(first.rumor().informed_count());
+    for (std::int64_t t = 0; t < t_half; ++t) {
+        first.step();
+        series.push_back(first.rumor().informed_count());
+    }
+
+    const auto path = (std::filesystem::temp_directory_path() /
+                       ("smn_golden_ckpt_" + std::to_string(::getpid()) + "_" +
+                        std::to_string(g.seed) + "_" + std::to_string(g.side) + "_" +
+                        std::to_string(g.metric) + std::to_string(g.walk) +
+                        std::to_string(g.mobility) + "_" + std::to_string(g.radius) + ".snap"))
+                          .string();
+    io::save_snapshot(path, first.capture());
+    BroadcastProcess resumed{io::load_broadcast_snapshot(path)};
+    std::filesystem::remove(path);
+
+    ASSERT_EQ(resumed.time(), t_half);
+    ASSERT_EQ(resumed.rumor().informed_count(), series.back());
+    while (!resumed.complete() && resumed.time() < g.steps_run + 100) {
+        resumed.step();
+        series.push_back(resumed.rumor().informed_count());
+    }
+    EXPECT_EQ(resumed.time(), g.broadcast_time);
+    EXPECT_EQ(fnv1a_series(series), g.series_hash);
 }
 
 // Captured by running the pre-PR-3 seed implementation (full BucketIndex

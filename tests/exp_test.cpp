@@ -3,9 +3,14 @@
 // result schema (validated with a minimal JSON parser below).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cctype>
 #include <cmath>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -19,8 +24,10 @@
 #include "exp/scenarios.hpp"
 #include "exp/sweep.hpp"
 #include "exp/writer.hpp"
+#include "io/journal.hpp"
 #include "obs/registry.hpp"
 #include "rng/rng.hpp"
+#include "util/failpoint.hpp"
 
 namespace {
 
@@ -680,6 +687,268 @@ TEST(BuiltinScenarios, QuickSweepsProduceValidRecords) {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Robustness: tolerant units, retries, journaled resume, interruption.
+
+/// Self-deleting temp path for journal/JSONL fixtures.
+class ScratchFile {
+public:
+    explicit ScratchFile(const std::string& tag) {
+        static int counter = 0;
+        path_ = (std::filesystem::temp_directory_path() /
+                 ("smn_exp_test_" + std::to_string(::getpid()) + "_" + tag + "_" +
+                  std::to_string(counter++)))
+                    .string();
+    }
+    ~ScratchFile() {
+        std::error_code ec;
+        std::filesystem::remove(path_, ec);
+    }
+    [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+private:
+    std::string path_;
+};
+
+TEST(RunPoint, TolerantModeCollectsFailuresAndAggregatesTheRest) {
+    auto scenario = synthetic_scenario();
+    exp::RunOptions options;
+    options.reps = 9;
+    options.seed = 7;
+    options.threads = 4;
+    options.retries = 2;
+    options.tolerate_failures = true;
+    // Replication 2 of this point fails on every attempt; the other eight
+    // replications must still aggregate normally.
+    const std::uint64_t doomed = rng::replication_seed(
+        exp::point_seed(options.seed, scenario.name, {{"a", "3"}}), 2);
+    const auto base_body = scenario.run_rep;
+    scenario.run_rep = [doomed, base_body](const exp::ScenarioParams& p,
+                                           std::uint64_t seed) {
+        if (seed == doomed) throw std::domain_error("injected rep failure");
+        return base_body(p, seed);
+    };
+    const auto result = exp::run_point(scenario, {{"a", "3"}}, options);
+    ASSERT_EQ(result.failures.size(), 1U);
+    EXPECT_EQ(result.failures[0].rep, 2);
+    EXPECT_EQ(result.failures[0].attempts, 3);  // 1 try + 2 retries
+    EXPECT_NE(result.failures[0].message.find("injected rep failure"),
+              std::string::npos);
+    EXPECT_EQ(result.metric("value").count(), 8);
+}
+
+TEST(RunSweep, RetriesRecoverTransientFaultsByteIdentically) {
+    // One unit throws on its first attempt only. With retries=1 the sweep
+    // must converge to the exact bytes a fault-free run produces.
+    const auto scenario = synthetic_scenario();
+    exp::RunOptions options;
+    options.reps = 5;
+    options.threads = 4;
+    const auto sweep = exp::SweepSpec::parse("a=1,2;b=3,4");
+
+    std::ostringstream clean;
+    exp::JsonlWriter clean_writer{clean};
+    for (const auto& result : exp::run_sweep(scenario, sweep, options)) {
+        clean_writer.write(result);
+    }
+
+    auto flaky = synthetic_scenario();
+    const std::uint64_t transient = rng::replication_seed(
+        exp::point_seed(options.seed, flaky.name, {{"a", "2"}, {"b", "3"}}), 3);
+    auto attempts = std::make_shared<std::mutex>();
+    auto seen = std::make_shared<std::map<std::uint64_t, int>>();
+    const auto base_body = flaky.run_rep;
+    flaky.run_rep = [transient, attempts, seen, base_body](
+                        const exp::ScenarioParams& p, std::uint64_t seed) {
+        if (seed == transient) {
+            std::lock_guard<std::mutex> lock{*attempts};
+            if ((*seen)[seed]++ == 0) throw std::runtime_error("transient fault");
+        }
+        return base_body(p, seed);
+    };
+    options.retries = 1;
+    options.tolerate_failures = true;
+    std::ostringstream retried;
+    exp::JsonlWriter retried_writer{retried};
+    for (const auto& result : exp::run_sweep(flaky, sweep, options)) {
+        EXPECT_TRUE(result.failures.empty());
+        retried_writer.write(result);
+    }
+    EXPECT_EQ(retried.str(), clean.str());
+}
+
+TEST(RunSweep, JournalReplayIsByteIdenticalAndSkipsCompletedUnits) {
+    auto scenario = synthetic_scenario();
+    auto executed = std::make_shared<std::atomic<int>>(0);
+    const auto base_body = scenario.run_rep;
+    scenario.run_rep = [executed, base_body](const exp::ScenarioParams& p,
+                                             std::uint64_t seed) {
+        executed->fetch_add(1);
+        return base_body(p, seed);
+    };
+    exp::RunOptions options;
+    options.reps = 3;
+    options.threads = 4;
+    const auto sweep = exp::SweepSpec::parse("a=1,2;b=3,4");  // 4 points × 3 reps
+    const auto fp = io::sweep_fingerprint(options.seed, options.reps,
+                                          {{"synthetic", "a=1,2;b=3,4"}}, "test");
+
+    ScratchFile journal_file{"journal"};
+    std::ostringstream first;
+    {
+        io::SweepJournal journal{journal_file.path(), fp, /*resume=*/false};
+        options.journal = &journal;
+        exp::JsonlWriter writer{first};
+        for (const auto& result : exp::run_sweep(scenario, sweep, options)) {
+            writer.write(result);
+        }
+        journal.sync();
+    }
+    EXPECT_EQ(executed->load(), 12);
+
+    // Full replay: every unit comes from the journal, the body never runs,
+    // and the records are the exact bytes of the original run.
+    executed->store(0);
+    std::ostringstream replayed;
+    {
+        io::SweepJournal journal{journal_file.path(), fp, /*resume=*/true};
+        EXPECT_EQ(journal.replayed(), 12U);
+        options.journal = &journal;
+        exp::JsonlWriter writer{replayed};
+        for (const auto& result : exp::run_sweep(scenario, sweep, options)) {
+            writer.write(result);
+        }
+    }
+    EXPECT_EQ(executed->load(), 0);
+    EXPECT_EQ(replayed.str(), first.str());
+
+    // Partial replay: a journal holding only the header and the first four
+    // unit lines (as after a crash) re-runs exactly the missing eight.
+    std::ifstream in{journal_file.path()};
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(in, line)) lines.push_back(line);
+    ASSERT_EQ(lines.size(), 13U);  // header + 12 units
+    ScratchFile partial_file{"partial"};
+    {
+        std::ofstream out{partial_file.path(), std::ios::binary};
+        for (std::size_t i = 0; i < 5; ++i) out << lines[i] << '\n';
+    }
+    executed->store(0);
+    std::ostringstream resumed;
+    {
+        io::SweepJournal journal{partial_file.path(), fp, /*resume=*/true};
+        EXPECT_EQ(journal.replayed(), 4U);
+        options.journal = &journal;
+        exp::JsonlWriter writer{resumed};
+        for (const auto& result : exp::run_sweep(scenario, sweep, options)) {
+            writer.write(result);
+        }
+    }
+    EXPECT_EQ(executed->load(), 8);
+    EXPECT_EQ(resumed.str(), first.str());
+}
+
+TEST(RunSweep, StopRequestRaisesInterrupted) {
+    const auto scenario = synthetic_scenario();
+    std::atomic<bool> stop{true};  // signal arrived before the pass started
+    exp::RunOptions options;
+    options.reps = 4;
+    options.stop = &stop;
+    EXPECT_THROW(
+        (void)exp::run_sweep(scenario, exp::SweepSpec::parse("a=1,2"), options),
+        exp::Interrupted);
+}
+
+TEST(JsonlWriter, FailureFieldsAppearOnlyWhenUnitsFailed) {
+    exp::PointResult result;
+    result.scenario = "s";
+    result.reps = 3;
+    stats::Sample sample;
+    sample.add(1.0);
+    sample.add(2.0);
+    result.metrics["m"] = sample;
+
+    std::ostringstream healthy;
+    exp::JsonlWriter{healthy}.write(result);
+    EXPECT_FALSE(parse_json(healthy.str()).has("failed_reps"));
+
+    result.failures.push_back({2, 4, "boom \"quoted\""});
+    std::ostringstream failed;
+    exp::JsonlWriter{failed}.write(result);
+    const auto record = parse_json(failed.str());
+    EXPECT_EQ(record.at("failed_reps").number(), 1.0);
+    const auto& failures = std::get<JsonArray>(record.at("failures").data);
+    ASSERT_EQ(failures.size(), 1U);
+    EXPECT_EQ(failures[0]->at("rep").number(), 2.0);
+    EXPECT_EQ(failures[0]->at("attempts").number(), 4.0);
+    EXPECT_EQ(failures[0]->at("error").str(), "boom \"quoted\"");
+}
+
+TEST(Writer, FailedUnitsRecordListsEveryFailure) {
+    exp::PointResult ok;
+    ok.scenario = "s";
+    ok.reps = 2;
+    exp::PointResult broken = ok;
+    broken.params = {{"a", "1"}};
+    broken.failures.push_back({0, 2, "first"});
+    broken.failures.push_back({1, 2, "second"});
+
+    std::ostringstream none;
+    exp::write_failed_units(none, {ok});
+    EXPECT_TRUE(none.str().empty());  // no failures → no record at all
+
+    std::ostringstream os;
+    exp::write_failed_units(os, {ok, broken});
+    const auto record = parse_json(os.str());
+    EXPECT_EQ(record.at("record").str(), "failed_units");
+    EXPECT_EQ(record.at("failed_reps").number(), 2.0);
+    const auto& units = std::get<JsonArray>(record.at("units").data);
+    ASSERT_EQ(units.size(), 2U);
+    EXPECT_EQ(units[0]->at("params").str(), "a=1");
+    EXPECT_EQ(units[0]->at("rep").number(), 0.0);
+    EXPECT_EQ(units[1]->at("error").str(), "second");
+}
+
+#if SMN_FAILPOINTS_ENABLED && defined(GTEST_HAS_DEATH_TEST)
+
+TEST(JsonlWriterDeathTest, CrashLeavesOnlyCompleteRecords) {
+    // Crash-atomicity: the writer flushes at record boundaries, so a
+    // process that dies between writes leaves N complete lines — never a
+    // torn tail that would corrupt a downstream JSONL parse.
+    const auto scenario = synthetic_scenario();
+    exp::RunOptions options;
+    options.reps = 2;
+    const auto result = exp::run_point(scenario, {}, options);
+
+    ScratchFile out{"death"};
+    const std::string path = out.path();
+    const auto crash_after_two_records = [&path, &result] {
+        std::ofstream os{path, std::ios::binary};
+        exp::JsonlWriter writer{os};
+        writer.write(result);
+        writer.write(result);
+        util::FailPoints::instance().configure("writer_crash=1@0:abort");
+        util::failpoint("writer_crash");
+    };
+    EXPECT_DEATH(crash_after_two_records(), "");
+    std::ifstream in{path, std::ios::binary};
+    std::string content{std::istreambuf_iterator<char>{in},
+                        std::istreambuf_iterator<char>{}};
+    ASSERT_FALSE(content.empty());
+    EXPECT_EQ(content.back(), '\n');  // no torn tail
+    std::istringstream lines{content};
+    std::string line;
+    int records = 0;
+    while (std::getline(lines, line)) {
+        (void)check_record(line);  // each surviving line is a valid record
+        ++records;
+    }
+    EXPECT_EQ(records, 2);
+}
+
+#endif  // SMN_FAILPOINTS_ENABLED && GTEST_HAS_DEATH_TEST
 
 TEST(BuiltinScenarios, GridBroadcastIsThreadInvariant) {
     exp::register_builtin_scenarios();

@@ -1,0 +1,248 @@
+// journal_test.cpp — the sweep journal behind --journal/--resume.
+//
+// The resume contract: a journal written by a (possibly crashed) sweep
+// replays exactly the units that completed — fingerprint-verified so it
+// can never be merged into a different experiment, torn-final-line
+// tolerant because a crash can interrupt an append mid-line, and
+// round-trip exact so merged JSONL output is byte-identical to an
+// uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/journal.hpp"
+#include "util/failpoint.hpp"
+
+namespace smn::io {
+namespace {
+
+class TempFile {
+public:
+    explicit TempFile(const std::string& tag) {
+        static int counter = 0;
+        path_ = (std::filesystem::temp_directory_path() /
+                 ("smn_journal_test_" + std::to_string(::getpid()) + "_" + tag + "_" +
+                  std::to_string(counter++)))
+                    .string();
+    }
+    ~TempFile() {
+        std::error_code ec;
+        std::filesystem::remove(path_, ec);
+    }
+    [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+private:
+    std::string path_;
+};
+
+std::string slurp(const std::string& path) {
+    std::ifstream in{path, std::ios::binary};
+    return {std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
+}
+
+const std::vector<std::pair<std::string, std::string>> kScenarios = {
+    {"grid_broadcast", "side=16,24;k=8"}, {"gossip", "side=12;k=6"}};
+
+// ------------------------------------------------------- fingerprint
+
+TEST(SweepFingerprint, SensitiveToEveryInput) {
+    const auto base = sweep_fingerprint(1, 8, kScenarios, "abc123");
+    EXPECT_EQ(sweep_fingerprint(1, 8, kScenarios, "abc123"), base);  // deterministic
+    EXPECT_NE(sweep_fingerprint(2, 8, kScenarios, "abc123"), base);  // seed
+    EXPECT_NE(sweep_fingerprint(1, 9, kScenarios, "abc123"), base);  // reps
+    EXPECT_NE(sweep_fingerprint(1, 8, kScenarios, "def456"), base);  // build
+    auto renamed = kScenarios;
+    renamed[0].first = "torus_broadcast";
+    EXPECT_NE(sweep_fingerprint(1, 8, renamed, "abc123"), base);  // scenario name
+    auto resized = kScenarios;
+    resized[1].second = "side=12;k=7";
+    EXPECT_NE(sweep_fingerprint(1, 8, resized, "abc123"), base);  // sweep text
+}
+
+// ------------------------------------------------- record and replay
+
+TEST(SweepJournal, RecordsAreVisibleAfterReopen) {
+    TempFile file{"reopen"};
+    const auto fp = sweep_fingerprint(7, 4, kScenarios, "sha");
+    JournalUnit unit;
+    unit.metrics = {{"broadcast_time", 321.0}, {"steps", 321.0}};
+    unit.wall_seconds = 0.25;
+    {
+        SweepJournal journal{file.path(), fp, /*resume=*/false};
+        EXPECT_EQ(journal.replayed(), 0u);
+        EXPECT_EQ(journal.find("grid_broadcast", 0), nullptr);
+        journal.record("grid_broadcast", 0, unit);
+        journal.record("grid_broadcast", 3, unit);
+        journal.sync();
+        // Recorded units are immediately findable in the same session.
+        ASSERT_NE(journal.find("grid_broadcast", 0), nullptr);
+    }
+    SweepJournal resumed{file.path(), fp, /*resume=*/true};
+    EXPECT_EQ(resumed.replayed(), 2u);
+    const auto* found = resumed.find("grid_broadcast", 3);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->metrics, unit.metrics);
+    EXPECT_EQ(found->wall_seconds, unit.wall_seconds);
+    EXPECT_EQ(resumed.find("grid_broadcast", 1), nullptr);
+    EXPECT_EQ(resumed.find("gossip", 0), nullptr);  // scenario-scoped
+}
+
+TEST(SweepJournal, MetricDoublesRoundTripExactly) {
+    TempFile file{"exact"};
+    const auto fp = sweep_fingerprint(1, 1, kScenarios, "sha");
+    // Values with no short decimal representation must replay to the
+    // exact same bits — that is what makes resumed JSONL byte-identical.
+    JournalUnit unit;
+    unit.metrics = {{"a", 0.1 + 0.2},
+                    {"b", 1.0 / 3.0},
+                    {"c", 6.02214076e23},
+                    {"d", -4.9e-324},  // min subnormal
+                    {"e", 12345678901234567.0}};
+    unit.wall_seconds = 1e-9;
+    {
+        SweepJournal journal{file.path(), fp, false};
+        journal.record("gossip", 2, unit);
+    }
+    SweepJournal resumed{file.path(), fp, true};
+    const auto* found = resumed.find("gossip", 2);
+    ASSERT_NE(found, nullptr);
+    for (const auto& [name, value] : unit.metrics) {
+        ASSERT_TRUE(found->metrics.count(name)) << name;
+        EXPECT_EQ(found->metrics.at(name), value) << name;  // bitwise, not approx
+    }
+}
+
+TEST(SweepJournal, ConcurrentRecordsAllSurvive) {
+    TempFile file{"concurrent"};
+    const auto fp = sweep_fingerprint(3, 64, kScenarios, "sha");
+    {
+        SweepJournal journal{file.path(), fp, false};
+        std::vector<std::thread> writers;
+        for (int w = 0; w < 4; ++w) {
+            writers.emplace_back([&journal, w] {
+                for (int i = 0; i < 16; ++i) {
+                    JournalUnit unit;
+                    unit.metrics["value"] = static_cast<double>(w * 16 + i);
+                    journal.record("grid_broadcast", w * 16 + i, unit);
+                }
+            });
+        }
+        for (auto& t : writers) t.join();
+    }
+    SweepJournal resumed{file.path(), fp, true};
+    EXPECT_EQ(resumed.replayed(), 64u);
+    for (int u = 0; u < 64; ++u) {
+        const auto* found = resumed.find("grid_broadcast", u);
+        ASSERT_NE(found, nullptr) << "unit " << u;
+        EXPECT_EQ(found->metrics.at("value"), static_cast<double>(u));
+    }
+}
+
+// ------------------------------------------------------- resilience
+
+TEST(SweepJournal, TornFinalLineIsDiscardedAndTruncated) {
+    TempFile file{"torn"};
+    const auto fp = sweep_fingerprint(5, 2, kScenarios, "sha");
+    JournalUnit unit;
+    unit.metrics["m"] = 1.0;
+    {
+        SweepJournal journal{file.path(), fp, false};
+        journal.record("gossip", 0, unit);
+        journal.record("gossip", 1, unit);
+    }
+    // Simulate a crash mid-append: chop the file inside the final line.
+    auto content = slurp(file.path());
+    const auto cut = content.size() - 7;
+    std::ofstream{file.path(), std::ios::binary | std::ios::trunc}
+        << content.substr(0, cut);
+
+    SweepJournal resumed{file.path(), fp, true};
+    EXPECT_EQ(resumed.replayed(), 1u);  // only the complete line survives
+    EXPECT_NE(resumed.find("gossip", 0), nullptr);
+    EXPECT_EQ(resumed.find("gossip", 1), nullptr);
+    // The torn fragment was truncated away, so a new append starts clean.
+    resumed.record("gossip", 1, unit);
+    resumed.sync();
+    SweepJournal again{file.path(), fp, true};
+    EXPECT_EQ(again.replayed(), 2u);
+}
+
+TEST(SweepJournal, FingerprintMismatchRefusesResume) {
+    TempFile file{"mismatch"};
+    { SweepJournal journal{file.path(), 0x1111111111111111ULL, false}; }
+    try {
+        SweepJournal journal{file.path(), 0x2222222222222222ULL, true};
+        FAIL() << "fingerprint mismatch accepted";
+    } catch (const JournalError& err) {
+        EXPECT_NE(std::string{err.what()}.find("fingerprint"), std::string::npos);
+    }
+}
+
+TEST(SweepJournal, MissingFileRefusesResume) {
+    TempFile file{"missing"};
+    EXPECT_THROW((SweepJournal{file.path(), 1, true}), JournalError);
+}
+
+TEST(SweepJournal, MalformedMidFileLineIsAHardError) {
+    TempFile file{"malformed"};
+    const auto fp = sweep_fingerprint(5, 2, kScenarios, "sha");
+    JournalUnit unit;
+    unit.metrics["m"] = 1.0;
+    { SweepJournal j{file.path(), fp, false}; j.record("gossip", 0, unit); }
+    // Corruption *before* the final line is not a crash signature — it
+    // means the file is damaged, and silently skipping records would
+    // silently change results.
+    std::ofstream{file.path(), std::ios::app} << "garbage line\n";
+    {
+        std::ofstream app{file.path(), std::ios::app};
+        app << "unit gossip 1 wall=0 m=2\n";
+    }
+    EXPECT_THROW((SweepJournal{file.path(), fp, true}), JournalError);
+}
+
+TEST(SweepJournal, NotAJournalRejected) {
+    TempFile file{"notjournal"};
+    std::ofstream{file.path(), std::ios::trunc} << "{\"schema\":1}\n{\"x\":2}\n";
+    EXPECT_THROW((SweepJournal{file.path(), 1, true}), JournalError);
+}
+
+TEST(SweepJournal, UnrepresentableNamesRejectedAtRecordTime) {
+    TempFile file{"badnames"};
+    SweepJournal journal{file.path(), 1, false};
+    JournalUnit unit;
+    unit.metrics["has space"] = 1.0;
+    EXPECT_THROW(journal.record("gossip", 0, unit), JournalError);
+    unit.metrics.clear();
+    unit.metrics["has=eq"] = 1.0;
+    EXPECT_THROW(journal.record("gossip", 1, unit), JournalError);
+    unit.metrics.clear();
+    EXPECT_THROW(journal.record("bad scenario", 2, unit), JournalError);
+}
+
+#if SMN_FAILPOINTS_ENABLED
+
+TEST(SweepJournal, AppendFailPointSurfacesAsInjectedFault) {
+    TempFile file{"fp_append"};
+    SweepJournal journal{file.path(), 1, false};
+    util::FailPoints::instance().configure("journal_append=1@0");
+    JournalUnit unit;
+    EXPECT_THROW(journal.record("gossip", 0, unit), util::InjectedFault);
+    util::FailPoints::instance().configure("");
+    // The failed append wrote nothing: the unit is absent, not torn.
+    journal.record("gossip", 0, unit);
+    journal.sync();
+    SweepJournal resumed{file.path(), 1, true};
+    EXPECT_EQ(resumed.replayed(), 1u);
+}
+
+#endif  // SMN_FAILPOINTS_ENABLED
+
+}  // namespace
+}  // namespace smn::io

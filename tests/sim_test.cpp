@@ -99,6 +99,47 @@ TEST(Args, UnknownFlagRejected) {
     EXPECT_THROW(args.reject_unknown(), std::invalid_argument);
 }
 
+// Regression: duplicates used to be last-one-wins, so a script that
+// appended "--seed=2" to a command line already carrying "--seed=1"
+// silently changed results. Every duplicate is now a parse error.
+TEST(Args, DuplicateOptionsRejected) {
+    const std::pair<const char*, const char*> duplicates[] = {
+        {"--seed=1", "--seed=2"},    // value twice
+        {"--verbose", "--verbose"},  // flag twice
+        {"--foo=1", "--foo"},        // value then flag
+        {"--foo", "--foo=1"},        // flag then value
+    };
+    for (const auto& [first, second] : duplicates) {
+        auto argv = argv_of({first, second});
+        try {
+            Args args{static_cast<int>(argv.size()), argv.data()};
+            FAIL() << "accepted duplicate " << first << " " << second;
+        } catch (const std::invalid_argument& err) {
+            EXPECT_NE(std::string{err.what()}.find("duplicate"), std::string::npos);
+        }
+    }
+    // Repeated built-in flags stay idempotent (quick/csv/help are bools).
+    auto argv = argv_of({"--quick", "--quick"});
+    EXPECT_NO_THROW((Args{static_cast<int>(argv.size()), argv.data()}));
+}
+
+TEST(Args, AllUnknownsReportedInOneError) {
+    auto argv = argv_of({"--typo=1", "--mystery", "--wat=2"});
+    Args args{static_cast<int>(argv.size()), argv.data()};
+    (void)args.get_int("n", 0);
+    try {
+        args.reject_unknown();
+        FAIL() << "unknowns accepted";
+    } catch (const std::invalid_argument& err) {
+        const std::string what = err.what();
+        // One message naming every unknown, so several typos cost one
+        // run to discover instead of one run each.
+        EXPECT_NE(what.find("--typo"), std::string::npos) << what;
+        EXPECT_NE(what.find("--mystery"), std::string::npos) << what;
+        EXPECT_NE(what.find("--wat"), std::string::npos) << what;
+    }
+}
+
 TEST(Args, HelpIsRecognizedAndListsDeclaredKeys) {
     auto argv = argv_of({"--help"});
     Args args{static_cast<int>(argv.size()), argv.data()};

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/failpoint.hpp"
 #include "util/worker_pool.hpp"
 
 namespace smn::util {
@@ -116,6 +117,81 @@ TEST(WorkerPool, SerialPoolPropagatesExceptions) {
         pool.run(4, [](int shard, int) { if (shard == 2) throw std::out_of_range("x"); }),
         std::out_of_range);
 }
+
+#if SMN_FAILPOINTS_ENABLED
+
+/// Disarms every site when the test ends, so failpoint state never leaks
+/// into unrelated tests in the same process.
+class FailPointTest : public ::testing::Test {
+protected:
+    void TearDown() override { FailPoints::instance().configure(""); }
+};
+
+TEST_F(FailPointTest, UnarmedSiteNeverFires) {
+    FailPoints::instance().configure("");
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(failpoint_fires("nonexistent_site"));
+        EXPECT_NO_THROW(failpoint("nonexistent_site"));
+    }
+}
+
+TEST_F(FailPointTest, ProbabilityOneAlwaysThrows) {
+    FailPoints::instance().configure("always=1@3");
+    EXPECT_THROW(failpoint("always"), InjectedFault);
+    EXPECT_THROW(failpoint("always"), InjectedFault);
+    EXPECT_NO_THROW(failpoint("other_site"));  // only the named site is armed
+}
+
+TEST_F(FailPointTest, ProbabilityZeroNeverFires) {
+    FailPoints::instance().configure("never=0@3");
+    for (int i = 0; i < 100; ++i) EXPECT_FALSE(failpoint_fires("never"));
+}
+
+TEST_F(FailPointTest, DecisionSequenceIsDeterministic) {
+    FailPoints::instance().configure("coin=0.5@12345");
+    std::vector<bool> first;
+    for (int i = 0; i < 64; ++i) first.push_back(failpoint_fires("coin"));
+    // Re-arming resets the evaluation counter: same seed ⇒ same sequence.
+    FailPoints::instance().configure("coin=0.5@12345");
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(failpoint_fires("coin"), first[static_cast<std::size_t>(i)]);
+    // A different seed produces a different sequence (overwhelmingly).
+    FailPoints::instance().configure("coin=0.5@999");
+    std::vector<bool> reseeded;
+    for (int i = 0; i < 64; ++i) reseeded.push_back(failpoint_fires("coin"));
+    EXPECT_NE(first, reseeded);
+}
+
+TEST_F(FailPointTest, ApproximatesConfiguredProbability) {
+    FailPoints::instance().configure("rare=0.1@77");
+    int fired = 0;
+    for (int i = 0; i < 2000; ++i) fired += failpoint_fires("rare") ? 1 : 0;
+    EXPECT_GT(fired, 100);  // ~200 expected; bounds are > 6 sigma out
+    EXPECT_LT(fired, 350);
+}
+
+TEST_F(FailPointTest, InjectedFaultIsARuntimeError) {
+    FailPoints::instance().configure("site=1@0");
+    // Injected faults must travel the same error paths real ones do.
+    EXPECT_THROW(failpoint("site"), std::runtime_error);
+}
+
+TEST_F(FailPointTest, MultipleSitesAreIndependent) {
+    FailPoints::instance().configure("a=1@1,b=0@1");
+    EXPECT_TRUE(failpoint_fires("a"));
+    EXPECT_FALSE(failpoint_fires("b"));
+}
+
+TEST_F(FailPointTest, MalformedSpecsRejected) {
+    auto& fp = FailPoints::instance();
+    EXPECT_THROW(fp.configure("noequals"), std::invalid_argument);
+    EXPECT_THROW(fp.configure("site=0.5"), std::invalid_argument);       // missing @seed
+    EXPECT_THROW(fp.configure("site=abc@1"), std::invalid_argument);     // bad probability
+    EXPECT_THROW(fp.configure("site=0.5@x"), std::invalid_argument);     // bad seed
+    EXPECT_THROW(fp.configure("site=1@0:explode"), std::invalid_argument);  // bad action
+    EXPECT_THROW(fp.configure("a=1@0,a=1@0"), std::invalid_argument);    // duplicate site
+}
+
+#endif  // SMN_FAILPOINTS_ENABLED
 
 }  // namespace
 }  // namespace smn::util

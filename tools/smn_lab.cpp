@@ -13,8 +13,19 @@
 //   smn_lab --scenario=gossip --sweep="side=24;k=8,16,32" --reps=20
 //           --threads=8 --out=results/gossip.jsonl
 //   smn_lab --scenario=churn --format=csv
+//
+// Crash-safe sweeps (docs/robustness.md): --journal appends each
+// completed (point, replication) unit to a sidecar journal; if the run
+// dies — crash, SIGKILL, or Ctrl-C (SIGINT/SIGTERM stop cleanly, flush
+// the journal, and exit 130) — rerun the same command with
+// --resume=JOURNAL to skip the finished units. The merged output is
+// byte-identical to an uninterrupted run. --retries=N retries a throwing
+// replication; units that fail every attempt are reported in a
+// "failed_units" record (exit 3) while healthy units complete.
+#include <csignal>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -29,6 +40,8 @@
 #include "exp/scenarios.hpp"
 #include "exp/sweep.hpp"
 #include "exp/writer.hpp"
+#include "io/journal.hpp"
+#include "obs/provenance.hpp"
 #include "obs/step_trace.hpp"
 #include "sim/args.hpp"
 #include "stats/table.hpp"
@@ -37,6 +50,18 @@
 namespace {
 
 using namespace smn;
+
+/// Set by the SIGINT/SIGTERM handler; the runner checks it before each
+/// unit (RunOptions::stop), so one signal stops the sweep cleanly after
+/// the in-flight replications finish. A second signal falls through to
+/// the default disposition (the handler re-arms SIG_DFL) and kills the
+/// process the usual way.
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int signum) {
+    g_stop.store(true, std::memory_order_relaxed);
+    std::signal(signum, SIG_DFL);
+}
 
 void list_scenarios(const sim::Args& args) {
     stats::Table table{{"scenario", "param", "default", "description"}};
@@ -151,7 +176,18 @@ int run(int argc, char** argv) {
     options.reps = static_cast<int>(args.get_int("reps", options.quick ? 3 : 8));
     options.seed = static_cast<std::uint64_t>(args.get_int("seed", 20110601));
     options.threads = args.threads();
+    options.retries = static_cast<int>(args.get_int("retries", 0));
+    options.tolerate_failures = true;  // report failed units, don't abort the sweep
+    // Crash-safety: --journal[=PATH] records completed units as the run
+    // goes; --resume=PATH replays a journal from an interrupted run.
+    const bool journal_flag = args.get_flag("journal");
+    const std::string journal_arg = args.get_string("journal", "");
+    const std::string resume_path = args.get_string("resume", "");
     args.reject_unknown();
+    if (options.retries < 0) throw std::invalid_argument("--retries must be >= 0");
+    if (!resume_path.empty() && (journal_flag || !journal_arg.empty())) {
+        throw std::invalid_argument("--resume already names the journal; drop --journal");
+    }
 
     if (list) {
         list_scenarios(args);
@@ -169,6 +205,50 @@ int run(int argc, char** argv) {
     }
     if (!sweep_arg.empty() && selected.size() != 1) {
         throw std::invalid_argument("--sweep needs exactly one --scenario=<name>");
+    }
+
+    // Resolve every scenario's sweep up front: bad sweep syntax fails
+    // before any compute, and the (name, sweep) list is what the journal
+    // fingerprint binds a resume to.
+    std::vector<exp::SweepSpec> sweeps;
+    std::vector<std::string> sweep_texts;
+    std::vector<std::pair<std::string, std::string>> fingerprint_scenarios;
+    for (const auto* scenario : selected) {
+        const std::string sweep_text =
+            !sweep_arg.empty() ? sweep_arg
+                               : (options.quick ? scenario->quick_sweep
+                                                : scenario->default_sweep);
+        sweeps.push_back(exp::SweepSpec::parse(sweep_text));
+        sweep_texts.push_back(sweep_text);
+        fingerprint_scenarios.emplace_back(scenario->name, sweep_text);
+    }
+
+    // Open the journal (if any) and trap SIGINT/SIGTERM so an interrupt
+    // flushes it instead of losing completed work.
+    std::unique_ptr<io::SweepJournal> journal;
+    if (journal_flag || !journal_arg.empty() || !resume_path.empty()) {
+        const auto fingerprint =
+            io::sweep_fingerprint(options.seed, options.reps, fingerprint_scenarios,
+                                  obs::build_info().git_sha);
+        std::string journal_path = !resume_path.empty() ? resume_path : journal_arg;
+        if (journal_path.empty()) {
+            if (out_path == "-") {
+                throw std::invalid_argument(
+                    "--journal without a path needs --out=FILE (journal goes to "
+                    "FILE.journal), or pass --journal=PATH");
+            }
+            journal_path = out_path + ".journal";
+        }
+        journal = std::make_unique<io::SweepJournal>(journal_path, fingerprint,
+                                                     /*resume=*/!resume_path.empty());
+        if (!resume_path.empty()) {
+            std::cerr << "[smn_lab] resuming from " << journal_path << ": "
+                      << journal->replayed() << " unit(s) already done\n";
+        }
+        options.journal = journal.get();
+        options.stop = &g_stop;
+        std::signal(SIGINT, handle_stop_signal);
+        std::signal(SIGTERM, handle_stop_signal);
     }
 
     // Output stream: stdout for "-", else a fresh file (parents created).
@@ -214,23 +294,33 @@ int run(int argc, char** argv) {
         };
     }
 
-    for (const auto* scenario : selected) {
-        const std::string sweep_text =
-            !sweep_arg.empty() ? sweep_arg
-                               : (options.quick ? scenario->quick_sweep
-                                                : scenario->default_sweep);
-        const auto sweep = exp::SweepSpec::parse(sweep_text);
+    std::size_t failed_reps = 0;
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+        const auto* scenario = selected[i];
+        const auto& sweep = sweeps[i];
         std::cerr << "[smn_lab] " << scenario->name << ": " << sweep.size()
-                  << " point(s) x " << options.reps << " rep(s), sweep \"" << sweep_text
+                  << " point(s) x " << options.reps << " rep(s), sweep \"" << sweep_texts[i]
                   << "\"\n";
         progress.begin(scenario->name);
-        for (const auto& result : exp::run_sweep(*scenario, sweep, options)) {
+        std::vector<exp::PointResult> results;
+        try {
+            results = exp::run_sweep(*scenario, sweep, options);
+        } catch (const exp::Interrupted& err) {
+            if (journal) journal->sync();
+            std::cerr << "\n[smn_lab] interrupted: " << err.what() << "\n[smn_lab] "
+                      << "finish with: --resume=" << (journal ? journal->path() : "JOURNAL")
+                      << " (plus the original options)\n";
+            return 130;
+        }
+        for (const auto& result : results) {
             if (format == "csv") {
                 csv.write(result);
             } else {
                 jsonl.write(result);
             }
+            failed_reps += result.failures.size();
         }
+        if (format == "jsonl") exp::write_failed_units(os, results);
     }
     if (!trace_path.empty()) {
         obs::disarm_trace();
@@ -247,8 +337,15 @@ int run(int argc, char** argv) {
         // the "engine." flushes of every engine destroyed during the run.
         exp::write_counters_total(os);
     }
+    if (journal) journal->sync();
     if (out_path != "-") {
         std::cerr << "[smn_lab] wrote " << out_path << " (" << format << ")\n";
+    }
+    if (failed_reps > 0) {
+        std::cerr << "[smn_lab] " << failed_reps << " replication(s) failed after "
+                  << (1 + options.retries) << " attempt(s) each — see the failed_units "
+                  << "record(s); healthy units completed\n";
+        return 3;
     }
     return 0;
 }
