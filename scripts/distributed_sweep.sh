@@ -1,0 +1,160 @@
+#!/usr/bin/env bash
+# distributed_sweep.sh — end-to-end checks for the distributed sweep
+# fabric (docs/robustness.md). Every leg asserts the merged JSONL is
+# byte-identical to a serial reference run — the fabric's core contract:
+# worker count, worker death, coordinator crash, and recovery must all be
+# invisible in the output bytes.
+#
+#   1. --workers=1 and --workers=4 vs serial: byte-identical.
+#   2. SIGKILL one worker mid-sweep: its leases expire and reassign;
+#      output still byte-identical.
+#   3. SIGKILL the coordinator mid-sweep (journaled), then --resume with
+#      workers: byte-identical, and the dead coordinator's workers are
+#      reaped (no orphans — PDEATHSIG).
+#   4. SIGINT the coordinator: clean exit 130, no orphaned workers.
+#
+# Usage: scripts/distributed_sweep.sh [build-dir] [work-dir]
+set -euo pipefail
+
+build_dir="${1:-build}"
+work_dir="${2:-$(mktemp -d)}"
+mkdir -p "${work_dir}"
+
+lab="${build_dir}/smn_lab"
+if [ ! -x "${lab}" ]; then
+    echo "distributed_sweep: ${lab} not found (build first)" >&2
+    exit 1
+fi
+
+# The bracket trick keeps the pattern from matching this script's own
+# argv; workers run as '/proc/self/exe --serve=/tmp/smn_lab.<pid>.sock'.
+worker_pattern='[-]-serve=/tmp/smn_lab'
+
+assert_no_orphans() {
+    # PDEATHSIG delivery and coordinator cleanup are asynchronous: give
+    # stragglers a moment before declaring them orphaned.
+    for _ in 1 2 3 4 5 6 7 8 9 10; do
+        pgrep -f "${worker_pattern}" > /dev/null || return 0
+        sleep 0.3
+    done
+    echo "distributed_sweep: orphaned workers survive: $1" >&2
+    pgrep -af "${worker_pattern}" >&2 || true
+    exit 1
+}
+
+# Same workload as crash_resume.sh: heavy enough that a kill ~0.5s in
+# lands mid-sweep, small enough to finish in seconds. Timings stay off so
+# the JSONL is byte-comparable.
+common=(--scenario=grid_broadcast --sweep="side=400;k=64" --reps=16
+        --seed=7 --no-progress)
+total_units=16
+
+echo "[distributed_sweep] reference serial run"
+"${lab}" "${common[@]}" --out="${work_dir}/reference.jsonl"
+
+# ---------------------------------------------------------------- leg 1
+for workers in 1 4; do
+    echo "[distributed_sweep] leg 1: --workers=${workers} vs serial"
+    "${lab}" "${common[@]}" --workers="${workers}" \
+        --out="${work_dir}/workers${workers}.jsonl"
+    cmp "${work_dir}/reference.jsonl" "${work_dir}/workers${workers}.jsonl" || {
+        echo "distributed_sweep: --workers=${workers} output differs from serial" >&2
+        exit 1
+    }
+    assert_no_orphans "after --workers=${workers}"
+    echo "  byte-identical at ${workers} worker(s)"
+done
+
+# ---------------------------------------------------------------- leg 2
+echo "[distributed_sweep] leg 2: SIGKILL one worker mid-sweep"
+killed=0
+for attempt in 1 2 3 4 5; do
+    rm -f "${work_dir}/workerkill.jsonl"
+    "${lab}" "${common[@]}" --workers=4 --heartbeat-ms=100 \
+        --out="${work_dir}/workerkill.jsonl" &
+    pid=$!
+    sleep 0.4
+    victim="$(pgrep -f "${worker_pattern}" | head -1 || true)"
+    if [ -n "${victim}" ]; then
+        kill -9 "${victim}" 2>/dev/null || true
+        killed=1
+        echo "  killed worker ${victim} (attempt ${attempt})"
+    fi
+    wait "${pid}" || {
+        echo "distributed_sweep: sweep failed after worker kill" >&2
+        exit 1
+    }
+    [ "${killed}" -eq 1 ] && break
+    echo "  attempt ${attempt}: sweep finished before a worker could be killed, retrying"
+done
+if [ "${killed}" -ne 1 ]; then
+    echo "  WARNING: never caught a worker mid-sweep; output still checked"
+fi
+cmp "${work_dir}/reference.jsonl" "${work_dir}/workerkill.jsonl" || {
+    echo "distributed_sweep: output differs after a worker was SIGKILLed" >&2
+    exit 1
+}
+assert_no_orphans "after worker SIGKILL leg"
+echo "  byte-identical with a SIGKILLed worker"
+
+# ---------------------------------------------------------------- leg 3
+echo "[distributed_sweep] leg 3: SIGKILL the coordinator, then --resume"
+partial=0
+for attempt in 1 2 3 4 5; do
+    rm -f "${work_dir}/coordkill.jsonl" "${work_dir}/coordkill.jsonl.journal"
+    "${lab}" "${common[@]}" --workers=4 --journal \
+        --out="${work_dir}/coordkill.jsonl" &
+    pid=$!
+    sleep 0.5
+    if kill -9 "${pid}" 2>/dev/null; then
+        set +e; wait "${pid}"; status=$?; set -e
+        [ "${status}" -eq 137 ] || { echo "expected exit 137 after SIGKILL, got ${status}" >&2; exit 1; }
+    else
+        set +e; wait "${pid}"; set -e  # finished before the kill landed
+    fi
+    done_units="$(grep -c '^unit ' "${work_dir}/coordkill.jsonl.journal" || true)"
+    if [ "${done_units}" -gt 0 ] && [ "${done_units}" -lt "${total_units}" ]; then
+        partial=1
+        echo "  killed with ${done_units}/${total_units} units journaled (attempt ${attempt})"
+        break
+    fi
+    echo "  attempt ${attempt}: kill landed outside the sweep (${done_units}/${total_units} units), retrying"
+done
+if [ "${partial}" -ne 1 ]; then
+    echo "  WARNING: never caught the sweep mid-flight; resume still checked against a complete journal"
+fi
+assert_no_orphans "after coordinator SIGKILL (PDEATHSIG should reap workers)"
+"${lab}" "${common[@]}" --workers=4 --resume="${work_dir}/coordkill.jsonl.journal" \
+    --out="${work_dir}/coordresumed.jsonl"
+cmp "${work_dir}/reference.jsonl" "${work_dir}/coordresumed.jsonl" || {
+    echo "distributed_sweep: resumed distributed output differs from serial" >&2
+    exit 1
+}
+assert_no_orphans "after distributed resume"
+echo "  coordinator crash + distributed resume byte-identical"
+
+# ---------------------------------------------------------------- leg 4
+echo "[distributed_sweep] leg 4: SIGINT propagates (exit 130, no orphans)"
+"${lab}" "${common[@]}" --workers=4 --journal \
+    --out="${work_dir}/sigint.jsonl" &
+pid=$!
+sleep 0.4
+interrupted=0
+if kill -INT "${pid}" 2>/dev/null; then
+    set +e; wait "${pid}"; status=$?; set -e
+    if [ "${status}" -eq 130 ]; then
+        interrupted=1
+    elif [ "${status}" -ne 0 ]; then
+        echo "distributed_sweep: expected exit 130 (or 0 if finished) after SIGINT, got ${status}" >&2
+        exit 1
+    fi
+else
+    set +e; wait "${pid}"; set -e  # finished before the signal landed
+fi
+if [ "${interrupted}" -ne 1 ]; then
+    echo "  WARNING: sweep finished before SIGINT landed; exit-code check skipped"
+fi
+assert_no_orphans "after SIGINT"
+echo "  SIGINT handled cleanly"
+
+echo "distributed_sweep: all legs OK"

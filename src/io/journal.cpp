@@ -10,22 +10,39 @@
 #include <unistd.h>
 
 #include "util/failpoint.hpp"
+#include "util/number.hpp"
 
 namespace smn::io {
 namespace {
+
+using util::render_double;
 
 [[noreturn]] void fail(const std::string& path, const std::string& reason) {
     throw JournalError("journal '" + path + "': " + reason);
 }
 
-// Shortest round-trip rendering — the same encoding exp::format_double
-// uses for JSONL, so a metric replayed from the journal re-serializes to
-// the exact bytes the uninterrupted run would have written.
-std::string render_double(double value) {
-    char buf[32];
-    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
-    if (ec != std::errc{}) return "0";
-    return std::string(buf, ptr);
+/// Writes every byte of `bytes`, riding out EINTR and short writes — a
+/// single unchecked ::write can legally land partial (signal mid-write,
+/// disk-full boundary) and would tear the record or header. The
+/// journal_short_write fail point deliberately splits the first write
+/// into one byte so the retry loop is exercised deterministically.
+void write_fully(int fd, const std::string& path, std::string_view bytes,
+                 const char* what) {
+    std::size_t off = 0;
+    bool inject_short = util::failpoint_fires("journal_short_write");
+    while (off < bytes.size()) {
+        std::size_t len = bytes.size() - off;
+        if (inject_short) {
+            len = 1;
+            inject_short = false;
+        }
+        const ::ssize_t n = ::write(fd, bytes.data() + off, len);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            fail(path, std::string{what} + ": " + std::strerror(errno));
+        }
+        off += static_cast<std::size_t>(n);
+    }
 }
 
 std::uint64_t fnv1a(std::uint64_t hash, std::string_view text) {
@@ -172,11 +189,12 @@ SweepJournal::SweepJournal(std::string path, std::uint64_t fingerprint, bool res
     fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND | O_CLOEXEC, 0644);
     if (fd_ < 0) fail(path_, std::string{"cannot create: "} + std::strerror(errno));
     const std::string header = std::string{kHeaderPrefix} + hex16(fingerprint_) + "\n";
-    if (::write(fd_, header.data(), header.size()) != static_cast<::ssize_t>(header.size())) {
-        const int err = errno;
+    try {
+        write_fully(fd_, path_, header, "cannot write header");
+    } catch (...) {
         ::close(fd_);
         fd_ = -1;
-        fail(path_, std::string{"cannot write header: "} + std::strerror(err));
+        throw;
     }
 }
 
@@ -213,17 +231,10 @@ void SweepJournal::record(std::string_view scenario, int unit, const JournalUnit
 
     util::failpoint("journal_append");
     const std::lock_guard<std::mutex> lock{mutex_};
-    // O_APPEND + a single write(): atomic with respect to other appends,
-    // so concurrent worker threads never interleave bytes mid-line.
-    std::size_t off = 0;
-    while (off < line.size()) {
-        const ::ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
-        if (n < 0) {
-            if (errno == EINTR) continue;
-            fail(path_, std::string{"append failed: "} + std::strerror(errno));
-        }
-        off += static_cast<std::size_t>(n);
-    }
+    // O_APPEND writes from a single fd never interleave with each other,
+    // and write_fully rides out EINTR and short writes so the line always
+    // lands whole (a torn tail is only possible at a crash boundary).
+    write_fully(fd_, path_, line, "append failed");
     units_[{std::string{scenario}, unit}] = data;
 }
 

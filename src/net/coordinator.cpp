@@ -1,0 +1,513 @@
+#include "net/coordinator.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/prctl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "net/frame.hpp"
+#include "net/protocol.hpp"
+#include "net/socket_io.hpp"
+
+namespace smn::net {
+namespace {
+
+std::int64_t now_ms() {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void default_warn(const std::string& message) {
+    std::fprintf(stderr, "smn_lab fabric: %s\n", message.c_str());
+}
+
+}  // namespace
+
+struct Coordinator::Impl {
+    /// One accepted worker connection. Suspect = its lease expired
+    /// (heartbeats lapsed) but the socket is still open: it gets no new
+    /// leases, yet a late ("zombie") result is still read and deduped,
+    /// and delivering one rehabilitates it.
+    struct Connection {
+        int fd{-1};
+        FrameReader reader;
+        enum class State { Handshaking, Idle, Busy, Suspect } state{State::Handshaking};
+        int pid{0};
+        int unit{-1};  ///< unit leased to this connection (Busy/Suspect)
+        int attempt{0};
+        bool closed{false};
+    };
+
+    CoordinatorConfig config;
+    CoordinatorHooks hooks;
+    std::unique_ptr<LeaseLedger> ledger;
+    int listen_fd{-1};
+    std::vector<std::unique_ptr<Connection>> conns;
+    std::vector<pid_t> children;  ///< spawned worker pids not yet reaped
+    bool spawned_any{false};
+    bool stopping{false};
+    std::int64_t start_ms{0};
+    CoordinatorOutcome out;
+
+    explicit Impl(CoordinatorConfig cfg, CoordinatorHooks hks)
+        : config{std::move(cfg)}, hooks{std::move(hks)} {
+        if (!hooks.warn) hooks.warn = default_warn;
+        if (config.heartbeat_ms < 1) config.heartbeat_ms = 1;
+        if (config.ledger.lease_ms <= 0) {
+            config.ledger.lease_ms = 5 * config.heartbeat_ms;
+        }
+    }
+
+    ~Impl() { cleanup(); }
+
+    [[noreturn]] void hard_fail(const std::string& message) {
+        throw std::runtime_error("smn_lab fabric: " + message);
+    }
+
+    void setup_listener() {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (config.socket_path.empty() ||
+            config.socket_path.size() >= sizeof addr.sun_path) {
+            hard_fail("bad socket path '" + config.socket_path + "'");
+        }
+        std::memcpy(addr.sun_path, config.socket_path.c_str(),
+                    config.socket_path.size() + 1);
+        ::unlink(config.socket_path.c_str());
+        listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (listen_fd < 0) hard_fail(std::string{"socket: "} + std::strerror(errno));
+        if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+            0) {
+            hard_fail("bind " + config.socket_path + ": " + std::strerror(errno));
+        }
+        if (::listen(listen_fd, 64) != 0) {
+            hard_fail(std::string{"listen: "} + std::strerror(errno));
+        }
+    }
+
+    void spawn_worker() {
+        if (config.spawn_argv.empty()) {
+            hard_fail("spawn_workers set but spawn_argv is empty");
+        }
+        const pid_t pid = ::fork();
+        if (pid < 0) hard_fail(std::string{"fork: "} + std::strerror(errno));
+        if (pid == 0) {
+            // Child: die with the coordinator no matter how it exits —
+            // a SIGKILLed coordinator must not strand workers.
+            ::prctl(PR_SET_PDEATHSIG, SIGTERM);
+            if (::getppid() == 1) ::_exit(127);  // parent already gone
+            std::vector<char*> argv;
+            argv.reserve(config.spawn_argv.size() + 1);
+            for (const auto& arg : config.spawn_argv) {
+                argv.push_back(const_cast<char*>(arg.c_str()));
+            }
+            argv.push_back(nullptr);
+            ::execv(argv[0], argv.data());
+            ::_exit(127);
+        }
+        children.push_back(pid);
+        spawned_any = true;
+    }
+
+    void reap_children() {
+        for (auto it = children.begin(); it != children.end();) {
+            int status = 0;
+            const pid_t r = ::waitpid(*it, &status, WNOHANG);
+            if (r == *it || (r < 0 && errno == ECHILD)) {
+                it = children.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    /// Severs a connection, returning its active lease (if any) to the
+    /// ledger for reassignment.
+    void disconnect(Connection& conn, const std::string& reason,
+                    std::int64_t now) {
+        if (conn.closed) return;
+        ::close(conn.fd);
+        conn.closed = true;
+        if (conn.unit >= 0 && conn.state == Connection::State::Busy) {
+            hooks.warn("worker" + (conn.pid > 0 ? " pid " + std::to_string(conn.pid)
+                                                : std::string{}) +
+                       " lost mid-unit (" + reason + "); reassigning unit " +
+                       std::to_string(conn.unit));
+            if (ledger->on_lease_lost(conn.unit, reason, now)) {
+                hooks.warn("unit " + std::to_string(conn.unit) +
+                           " exhausted its reassignment bound");
+            }
+            ++out.reassignments;
+        }
+        conn.unit = -1;
+    }
+
+    void accept_connection() {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) return;
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        const std::string hello =
+            format_hello(config.sweep_fingerprint, config.scenario, config.seed,
+                         config.reps, config.heartbeat_ms, config.sweep_text);
+        if (!send_frame(fd, hello)) {
+            ::close(fd);
+            return;
+        }
+        conns.push_back(std::move(conn));
+    }
+
+    void check_unit_range(int unit) {
+        if (unit < 0 || unit >= config.total_units) {
+            throw ProtocolError("fabric coordinator: unit " + std::to_string(unit) +
+                                " out of range");
+        }
+    }
+
+    void handle_message(Connection& conn, const Message& msg, std::int64_t now) {
+        if (conn.state == Connection::State::Handshaking &&
+            msg.kind != Message::Kind::Ready && msg.kind != Message::Kind::Refuse) {
+            throw ProtocolError("fabric coordinator: message before handshake");
+        }
+        switch (msg.kind) {
+            case Message::Kind::Ready:
+                if (conn.state != Connection::State::Handshaking) {
+                    throw ProtocolError("fabric coordinator: unexpected ready");
+                }
+                if (msg.fingerprint != config.sweep_fingerprint) {
+                    hard_fail("worker pid " + std::to_string(msg.pid) +
+                              " acknowledged a different sweep fingerprint");
+                }
+                conn.state = Connection::State::Idle;
+                conn.pid = msg.pid;
+                ++out.workers_seen;
+                return;
+            case Message::Kind::Refuse:
+                // Mirrors the journal's fingerprint semantics: a
+                // build/config mismatch poisons the whole run, it is not
+                // a recoverable worker fault.
+                hard_fail("worker refused handshake: " + msg.text);
+            case Message::Kind::Heartbeat:
+                check_unit_range(msg.unit);
+                (void)ledger->on_heartbeat(msg.unit, now);
+                return;
+            case Message::Kind::Fail:
+                check_unit_range(msg.unit);
+                if (ledger->on_body_failure(msg.unit, msg.attempt, msg.text, now)) {
+                    hooks.warn("unit " + std::to_string(msg.unit) +
+                               " failed every attempt: " + msg.text);
+                }
+                if (conn.unit == msg.unit) conn.unit = -1;
+                conn.state = Connection::State::Idle;
+                return;
+            case Message::Kind::Result:
+                handle_result(conn, msg);
+                return;
+            case Message::Kind::Hello:
+            case Message::Kind::Lease:
+            case Message::Kind::Shutdown:
+                throw ProtocolError(
+                    "fabric coordinator: coordinator-bound stream carried a "
+                    "coordinator-side verb");
+        }
+    }
+
+    void handle_result(Connection& conn, const Message& msg) {
+        check_unit_range(msg.unit);
+        if (conn.state == Connection::State::Busy && conn.unit != msg.unit) {
+            throw ProtocolError("fabric coordinator: result for unit " +
+                                std::to_string(msg.unit) +
+                                " from a worker leased unit " +
+                                std::to_string(conn.unit));
+        }
+        const std::uint64_t expected =
+            unit_fingerprint(config.sweep_fingerprint, config.scenario, msg.unit,
+                             hooks.unit_seed(msg.unit));
+        if (expected != msg.fingerprint) {
+            hard_fail("result for unit " + std::to_string(msg.unit) +
+                      " carries a mismatched unit fingerprint (divergent seed "
+                      "derivation)");
+        }
+        switch (ledger->on_result(msg.unit, deterministic_rendering(msg.metrics))) {
+            case ResultOutcome::Accepted:
+                hooks.deliver(msg.unit, msg.metrics, msg.wall_seconds);
+                ++out.completed;
+                break;
+            case ResultOutcome::Duplicate:
+                // The zombie's computation matched the winner's bit for
+                // bit — the determinism contract held; just drop it.
+                ++out.duplicates;
+                break;
+            case ResultOutcome::Mismatch:
+                hard_fail("determinism violation: duplicate completion of unit " +
+                          std::to_string(msg.unit) +
+                          " produced different metrics than the accepted result");
+            case ResultOutcome::Stale:
+                break;
+        }
+        if (conn.unit == msg.unit) conn.unit = -1;
+        // Any completed delivery proves the worker alive: a Suspect that
+        // finally answered goes back into the rotation.
+        conn.state = Connection::State::Idle;
+    }
+
+    void assign_leases(std::int64_t now) {
+        for (auto& conn : conns) {
+            if (conn->closed || conn->state != Connection::State::Idle) continue;
+            const auto lease = ledger->next_lease(now);
+            if (!lease) return;
+            const std::uint64_t fp =
+                unit_fingerprint(config.sweep_fingerprint, config.scenario,
+                                 lease->unit, hooks.unit_seed(lease->unit));
+            if (!send_frame(conn->fd, format_lease(lease->unit, lease->attempt, fp,
+                                                   config.ledger.lease_ms))) {
+                conn->state = Connection::State::Busy;
+                conn->unit = lease->unit;
+                disconnect(*conn, "lease send failed", now);
+                continue;
+            }
+            conn->state = Connection::State::Busy;
+            conn->unit = lease->unit;
+            conn->attempt = lease->attempt;
+        }
+    }
+
+    [[nodiscard]] int open_connections() const {
+        int open = 0;
+        for (const auto& conn : conns) {
+            if (!conn->closed) ++open;
+        }
+        return open;
+    }
+
+    /// True when no worker remains and none can be expected: every
+    /// connection closed, every spawned child reaped, and — if we never
+    /// spawned — the external-worker grace period has elapsed.
+    [[nodiscard]] bool should_degrade(std::int64_t now) const {
+        if (stopping) return false;
+        if (open_connections() > 0 || !children.empty()) return false;
+        if (spawned_any) return true;
+        return now - start_ms > config.connect_grace_ms;
+    }
+
+    /// Terminal fallback: the fabric is an accelerator, not a
+    /// correctness dependency — with zero workers the remaining units
+    /// run inline on this thread, serially, with the same bounded-retry
+    /// semantics a local run would have.
+    void run_inline_remaining() {
+        const auto remaining = ledger->open_units();
+        hooks.warn("worker pool shrank to zero; running " +
+                   std::to_string(remaining.size()) +
+                   " remaining unit(s) inline (serial)");
+        for (const int unit : remaining) {
+            if (config.stop != nullptr &&
+                config.stop->load(std::memory_order_relaxed)) {
+                stopping = true;
+                ledger->drop_pending();
+                return;
+            }
+            int attempt = ledger->body_attempts(unit) + 1;
+            while (true) {
+                double wall_seconds = 0.0;
+                try {
+                    const auto metrics = hooks.run_inline(unit, wall_seconds);
+                    if (ledger->on_result(unit, deterministic_rendering(metrics)) ==
+                        ResultOutcome::Accepted) {
+                        hooks.deliver(unit, metrics, wall_seconds);
+                        ++out.completed;
+                        ++out.inline_units;
+                    }
+                    break;
+                } catch (const std::exception& e) {
+                    if (ledger->on_body_failure(unit, attempt, e.what(), now_ms())) {
+                        hooks.warn("unit " + std::to_string(unit) +
+                                   " failed every attempt: " + e.what());
+                        break;
+                    }
+                    ++attempt;
+                }
+            }
+        }
+    }
+
+    void read_connection(Connection& conn, std::int64_t now) {
+        char buf[65536];
+        const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN) return;
+            disconnect(conn, std::string{"recv: "} + std::strerror(errno), now);
+            return;
+        }
+        if (n == 0) {
+            disconnect(conn,
+                       conn.reader.pending() != 0 ? "worker died mid-frame"
+                                                  : "worker connection closed",
+                       now);
+            return;
+        }
+        try {
+            conn.reader.feed(std::string_view{buf, static_cast<std::size_t>(n)});
+            std::string payload;
+            while (conn.reader.next(payload)) {
+                handle_message(conn, parse_message(payload), now);
+            }
+        } catch (const ProtocolError& e) {
+            // A poisoned stream (torn result frame, garbage) costs the
+            // worker its connection and lease — never the whole run.
+            disconnect(conn, e.what(), now);
+        }
+    }
+
+    void poll_once(std::int64_t now) {
+        std::vector<pollfd> fds;
+        std::vector<Connection*> owners;
+        fds.push_back({listen_fd, POLLIN, 0});
+        owners.push_back(nullptr);
+        for (auto& conn : conns) {
+            if (conn->closed) continue;
+            fds.push_back({conn->fd, POLLIN, 0});
+            owners.push_back(conn.get());
+        }
+        std::int64_t horizon = now + 200;
+        if (const auto event = ledger->next_event(now)) {
+            horizon = std::min(horizon, *event);
+        }
+        const int timeout =
+            static_cast<int>(std::clamp<std::int64_t>(horizon - now, 1, 200));
+        const int ready = ::poll(fds.data(), fds.size(), timeout);
+        if (ready <= 0) return;
+        const std::int64_t after = now_ms();
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+            if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+            if (owners[i] == nullptr) {
+                accept_connection();
+            } else if (!owners[i]->closed) {
+                read_connection(*owners[i], after);
+            }
+        }
+    }
+
+    void event_loop() {
+        start_ms = now_ms();
+        while (true) {
+            const std::int64_t now = now_ms();
+            if (!stopping && config.stop != nullptr &&
+                config.stop->load(std::memory_order_relaxed)) {
+                stopping = true;
+                ledger->drop_pending();
+                hooks.warn("stop requested; dropping pending units");
+            }
+            reap_children();
+            for (const int unit : ledger->expire_overdue(now)) {
+                ++out.reassignments;
+                for (auto& conn : conns) {
+                    if (!conn->closed && conn->unit == unit &&
+                        conn->state == Connection::State::Busy) {
+                        hooks.warn("worker pid " + std::to_string(conn->pid) +
+                                   " stopped heartbeating on unit " +
+                                   std::to_string(unit) +
+                                   "; lease expired, reassigning");
+                        conn->state = Connection::State::Suspect;
+                    }
+                }
+            }
+            if (!stopping) assign_leases(now);
+            if (ledger->all_settled()) return;
+            if (should_degrade(now)) {
+                run_inline_remaining();
+                return;
+            }
+            poll_once(now);
+        }
+    }
+
+    /// Idempotent teardown: shut workers down politely (shutdown frame +
+    /// close), give spawned children a moment to exit, then escalate
+    /// SIGTERM → SIGKILL. Runs on every exit path, including hard
+    /// failures, so no worker ever outlives its sweep.
+    void cleanup() noexcept {
+        for (auto& conn : conns) {
+            if (conn->closed) continue;
+            (void)send_frame(conn->fd, format_shutdown());
+            ::close(conn->fd);
+            conn->closed = true;
+        }
+        if (listen_fd >= 0) {
+            ::close(listen_fd);
+            listen_fd = -1;
+            ::unlink(config.socket_path.c_str());
+        }
+        const auto wait_children = [this](int grace_ms) {
+            const std::int64_t deadline = now_ms() + grace_ms;
+            while (!children.empty() && now_ms() < deadline) {
+                reap_children();
+                if (children.empty()) break;
+                std::this_thread::sleep_for(std::chrono::milliseconds(10));
+            }
+        };
+        wait_children(2000);
+        for (const pid_t pid : children) ::kill(pid, SIGTERM);
+        wait_children(1000);
+        for (const pid_t pid : children) ::kill(pid, SIGKILL);
+        while (!children.empty()) {
+            int status = 0;
+            const pid_t pid = children.back();
+            children.pop_back();
+            (void)::waitpid(pid, &status, 0);
+        }
+    }
+};
+
+Coordinator::Coordinator(CoordinatorConfig config, CoordinatorHooks hooks)
+    : impl_{std::make_unique<Impl>(std::move(config), std::move(hooks))} {}
+
+Coordinator::~Coordinator() = default;
+
+CoordinatorOutcome Coordinator::run(const std::vector<int>& pending_units) {
+    Impl& impl = *impl_;
+    if (impl.config.total_units < 0) impl.hard_fail("negative total_units");
+    impl.ledger =
+        std::make_unique<LeaseLedger>(impl.config.total_units, impl.config.ledger);
+    std::vector<std::uint8_t> pending(
+        static_cast<std::size_t>(impl.config.total_units), 0);
+    for (const int unit : pending_units) {
+        if (unit < 0 || unit >= impl.config.total_units) {
+            impl.hard_fail("pending unit " + std::to_string(unit) + " out of range");
+        }
+        pending[static_cast<std::size_t>(unit)] = 1;
+    }
+    for (int unit = 0; unit < impl.config.total_units; ++unit) {
+        if (pending[static_cast<std::size_t>(unit)] == 0) {
+            impl.ledger->mark_replayed(unit);
+        }
+    }
+    impl.out = CoordinatorOutcome{};
+    if (!impl.ledger->all_settled()) {
+        impl.setup_listener();
+        try {
+            for (int i = 0; i < impl.config.spawn_workers; ++i) impl.spawn_worker();
+            impl.event_loop();
+        } catch (...) {
+            impl.cleanup();
+            throw;
+        }
+        impl.cleanup();
+    }
+    impl.out.failures = impl.ledger->failures();
+    impl.out.skipped = impl.ledger->skipped_count();
+    return impl.out;
+}
+
+}  // namespace smn::net

@@ -1,0 +1,122 @@
+// coordinator.hpp — the coordinator half of the distributed-sweep fabric.
+//
+// The coordinator owns the listening socket, optionally spawns local
+// worker processes (fork + exec of this binary in --serve mode, with
+// PDEATHSIG so a dying coordinator can never strand them), and drives a
+// single-threaded poll() event loop: accept → hello/ready handshake →
+// lease units out → collect heartbeats and results → recover from
+// whatever dies. All scheduling *decisions* live in LeaseLedger (pure,
+// clock-explicit, unit-tested); this class is the I/O shell around it.
+//
+// Failure handling, by kind:
+//   - worker connection lost / died mid-frame → active lease reassigned
+//     (bounded by LedgerConfig::max_reassigns, exponential backoff);
+//   - heartbeat lapse → lease expires, holder marked suspect (no new
+//     leases), unit reassigned; a late result from the suspect is
+//     deduped against the winner and must be bit-identical — a mismatch
+//     is a determinism violation and hard-fails the run;
+//   - unit body threw on the worker → counted against max_attempts
+//     exactly like sim::ReplicationPool::run_units_tolerant retries;
+//   - every worker gone and none coming back → degrade to inline serial
+//     execution of the remaining units with a warning (the fabric is an
+//     accelerator, never a correctness dependency);
+//   - worker refuses the handshake (build/config fingerprint mismatch) →
+//     hard failure, mirroring the sweep journal's fingerprint semantics.
+//
+// Completed units are handed to CoordinatorHooks::deliver on the
+// caller's thread in arrival order; exp::run_points journals and
+// aggregates them exactly as it would local results, which is what makes
+// coordinator crash + --resume byte-identical.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/ledger.hpp"
+
+namespace smn::net {
+
+struct CoordinatorConfig {
+    std::string socket_path;  ///< AF_UNIX listen address
+    int spawn_workers{0};     ///< local worker processes to fork+exec
+    /// argv for a spawned worker (argv[0] = executable). Empty with
+    /// spawn_workers > 0 is an error; empty with 0 means workers connect
+    /// externally.
+    std::vector<std::string> spawn_argv;
+    int heartbeat_ms{400};  ///< requested worker heartbeat interval
+    int total_units{0};     ///< flat unit count (points × reps)
+    /// Lease/retry bounds. lease_ms <= 0 derives 5 × heartbeat_ms, so a
+    /// healthy worker misses ~4 heartbeats before being declared dead.
+    LedgerConfig ledger{.lease_ms = 0};
+    std::uint64_t sweep_fingerprint{0};
+    std::string scenario;
+    std::uint64_t seed{0};
+    int reps{0};
+    std::string sweep_text;
+    /// Checked every loop iteration; set (by a signal handler) to stop:
+    /// pending units are dropped, workers shut down, and the outcome
+    /// reports them skipped.
+    std::atomic<bool>* stop{nullptr};
+    /// How long to wait for a first worker before degrading to inline
+    /// when none were spawned locally.
+    int connect_grace_ms{10000};
+};
+
+/// The experiment-side bindings (net must not depend on exp; smn_lab
+/// composes these from Scenario/SweepSpec/rng).
+struct CoordinatorHooks {
+    /// Deterministic seed for a flat unit index — must match the workers'
+    /// derivation (the lease fingerprint binds it).
+    std::function<std::uint64_t(int unit)> unit_seed;
+    /// Runs one unit locally (degrade path). Fills wall_seconds, returns
+    /// the metric map. Throws on body failure.
+    std::function<std::map<std::string, double>(int unit, double& wall_seconds)>
+        run_inline;
+    /// Completion sink, called exactly once per completed unit on the
+    /// run() caller's thread (journal + aggregation live behind it).
+    std::function<void(int unit, const std::map<std::string, double>& metrics,
+                       double wall_seconds)>
+        deliver;
+    /// Operator-visible warnings (worker died, degraded to inline, ...).
+    /// Defaults to stderr.
+    std::function<void(const std::string&)> warn;
+};
+
+/// What a fabric pass did, beyond the delivered results.
+struct CoordinatorOutcome {
+    std::vector<LedgerFailure> failures;  ///< units that exhausted a bound
+    int skipped{0};                       ///< units dropped by a stop request
+    int completed{0};                     ///< results delivered
+    int inline_units{0};                  ///< completed via degrade-to-inline
+    int reassignments{0};                 ///< leases lost to dead/silent workers
+    int duplicates{0};                    ///< zombie completions deduped
+    int workers_seen{0};                  ///< connections that reached ready
+};
+
+class Coordinator {
+public:
+    Coordinator(CoordinatorConfig config, CoordinatorHooks hooks);
+    ~Coordinator();
+
+    Coordinator(const Coordinator&) = delete;
+    Coordinator& operator=(const Coordinator&) = delete;
+
+    /// Runs the fabric until every pending unit is settled (done, failed,
+    /// or skipped). `pending_units` are indices into [0, total_units);
+    /// the rest are treated as already complete (journal-replayed).
+    /// Throws std::runtime_error on hard failures: fingerprint refusal,
+    /// determinism violation, socket setup failure. Workers are shut
+    /// down (and spawned ones reaped) on every exit path.
+    [[nodiscard]] CoordinatorOutcome run(const std::vector<int>& pending_units);
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace smn::net

@@ -1,0 +1,84 @@
+#include "net/frame.hpp"
+
+#include <charconv>
+
+namespace smn::net {
+namespace {
+
+[[noreturn]] void fail(const std::string& reason) {
+    throw ProtocolError("fabric frame: " + reason);
+}
+
+/// Parses one complete line (newline already stripped) into its payload.
+std::string parse_line(std::string_view line) {
+    if (line.empty() || line[0] != '#') {
+        fail("garbage line (missing '#' length prefix): '" +
+             std::string{line.substr(0, 64)} + "'");
+    }
+    const auto space = line.find(' ');
+    if (space == std::string_view::npos) fail("missing length/payload separator");
+    const auto digits = line.substr(1, space - 1);
+    std::size_t declared = 0;
+    const auto [ptr, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), declared);
+    if (ec != std::errc{} || ptr != digits.data() + digits.size() || digits.empty()) {
+        fail("bad length prefix '" + std::string{digits} + "'");
+    }
+    if (declared > kMaxFramePayload) {
+        fail("oversized frame (" + std::to_string(declared) + " bytes declared, cap " +
+             std::to_string(kMaxFramePayload) + ")");
+    }
+    const auto payload = line.substr(space + 1);
+    if (payload.size() != declared) {
+        fail("truncated frame: declared " + std::to_string(declared) + " bytes, got " +
+             std::to_string(payload.size()));
+    }
+    return std::string{payload};
+}
+
+}  // namespace
+
+std::string encode_frame(std::string_view payload) {
+    if (payload.size() > kMaxFramePayload) {
+        fail("refusing to encode oversized payload (" + std::to_string(payload.size()) +
+             " bytes)");
+    }
+    if (payload.find('\n') != std::string_view::npos) {
+        fail("payload may not contain newline");
+    }
+    std::string frame;
+    frame.reserve(payload.size() + 16);
+    frame += '#';
+    frame += std::to_string(payload.size());
+    frame += ' ';
+    frame += payload;
+    frame += '\n';
+    return frame;
+}
+
+void FrameReader::feed(std::string_view bytes) {
+    buffer_.append(bytes);
+    std::size_t start = 0;
+    while (true) {
+        const auto nl = buffer_.find('\n', start);
+        if (nl == std::string::npos) break;
+        ready_.push_back(
+            parse_line(std::string_view{buffer_}.substr(start, nl - start)));
+        start = nl + 1;
+    }
+    buffer_.erase(0, start);
+    // The length prefix itself is bounded, so a partial line larger than
+    // the cap plus prefix slack can never complete into a legal frame.
+    if (buffer_.size() > kMaxFramePayload + 32) {
+        fail("unterminated line exceeds frame bound");
+    }
+}
+
+bool FrameReader::next(std::string& payload) {
+    if (ready_.empty()) return false;
+    payload = std::move(ready_.front());
+    ready_.pop_front();
+    return true;
+}
+
+}  // namespace smn::net

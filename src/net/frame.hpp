@@ -1,0 +1,74 @@
+// frame.hpp — length-checked line framing for the distributed-sweep
+// protocol.
+//
+// Every message on a fabric connection travels as one frame:
+//
+//     '#' <decimal payload length> ' ' <payload> '\n'
+//
+// The payload may not contain '\n', so frames are self-delimiting even
+// before the length is read; the length prefix is what makes truncation
+// *detectable*: a frame whose payload is shorter than its declared length
+// (a torn write, a crashed sender, an injected net_result_truncate fault)
+// parses as a hard FrameError instead of silently delivering a prefix of
+// the message. A partial frame at the end of the stream (no terminating
+// '\n' yet) is simply incomplete — the reader keeps it buffered until
+// more bytes arrive, and only the connection's EOF turns it into an
+// error, mirroring how the sweep journal treats a torn final line.
+//
+// Bounds: payloads are capped at kMaxFramePayload; a declared length
+// beyond the cap (or a buffered line growing past it without a newline)
+// is rejected before any allocation proportional to the claim, so a
+// garbage or hostile peer cannot balloon the reader.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace smn::net {
+
+/// Raised on any protocol violation: malformed framing, truncated or
+/// oversized frames, unparseable or out-of-order messages, fingerprint
+/// mismatches. A ProtocolError on a worker connection means that
+/// connection cannot be trusted further.
+class ProtocolError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Largest permitted frame payload. Generous: the biggest real message is
+/// a result line with a few dozen metrics (~1 KiB).
+inline constexpr std::size_t kMaxFramePayload = 1 << 20;
+
+/// Encodes one payload as a frame. Throws ProtocolError if the payload
+/// contains '\n' or exceeds kMaxFramePayload (sender-side bugs should
+/// fail loudly, not produce unparseable bytes).
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+/// Incremental frame extractor for one connection's byte stream.
+/// feed() buffers received bytes; next() pops complete frames in order.
+class FrameReader {
+public:
+    /// Appends received bytes. Throws ProtocolError if the buffered
+    /// partial line exceeds the frame bound (runaway sender).
+    void feed(std::string_view bytes);
+
+    /// Extracts the next complete frame's payload into `payload`.
+    /// Returns false when no complete frame is buffered. Throws
+    /// ProtocolError on malformed framing: missing '#', non-numeric or
+    /// oversized length, or declared length != actual payload length
+    /// (the truncation signature).
+    [[nodiscard]] bool next(std::string& payload);
+
+    /// Bytes of an incomplete trailing frame still buffered. Nonzero at
+    /// connection EOF means the peer died mid-frame.
+    [[nodiscard]] std::size_t pending() const noexcept { return buffer_.size(); }
+
+private:
+    std::string buffer_;
+    std::deque<std::string> ready_;
+};
+
+}  // namespace smn::net

@@ -1,0 +1,227 @@
+#include "net/ledger.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smn::net {
+
+namespace {
+
+void check_unit(int unit, std::size_t total) {
+    if (unit < 0 || static_cast<std::size_t>(unit) >= total) {
+        throw std::out_of_range("LeaseLedger: unit " + std::to_string(unit) +
+                                " out of range [0, " + std::to_string(total) + ")");
+    }
+}
+
+}  // namespace
+
+LeaseLedger::LeaseLedger(int total_units, LedgerConfig config)
+    : config_{config}, units_(total_units < 0 ? 0 : static_cast<std::size_t>(total_units)) {
+    if (config_.max_attempts < 1) config_.max_attempts = 1;
+    if (config_.max_reassigns < 0) config_.max_reassigns = 0;
+    if (config_.lease_ms < 1) config_.lease_ms = 1;
+    if (config_.backoff_base_ms < 0) config_.backoff_base_ms = 0;
+    if (config_.backoff_cap_ms < config_.backoff_base_ms) {
+        config_.backoff_cap_ms = config_.backoff_base_ms;
+    }
+}
+
+void LeaseLedger::mark_replayed(int unit) {
+    check_unit(unit, units_.size());
+    Unit& u = units_[static_cast<std::size_t>(unit)];
+    if (u.state != State::Open) {
+        throw std::logic_error("LeaseLedger: mark_replayed on non-open unit " +
+                               std::to_string(unit));
+    }
+    u.state = State::Done;
+    u.replayed = true;
+    ++done_;
+}
+
+std::optional<Lease> LeaseLedger::next_lease(std::int64_t now_ms) {
+    for (std::size_t i = 0; i < units_.size(); ++i) {
+        Unit& u = units_[i];
+        if (u.state != State::Open || u.not_before_ms > now_ms) continue;
+        u.state = State::Leased;
+        u.deadline_ms = now_ms + config_.lease_ms;
+        ++leased_;
+        return Lease{static_cast<int>(i), u.body_attempts + 1, u.deadline_ms};
+    }
+    return std::nullopt;
+}
+
+bool LeaseLedger::on_heartbeat(int unit, std::int64_t now_ms) {
+    check_unit(unit, units_.size());
+    Unit& u = units_[static_cast<std::size_t>(unit)];
+    if (u.state != State::Leased) return false;
+    u.deadline_ms = now_ms + config_.lease_ms;
+    return true;
+}
+
+ResultOutcome LeaseLedger::on_result(int unit, std::string rendered) {
+    check_unit(unit, units_.size());
+    Unit& u = units_[static_cast<std::size_t>(unit)];
+    switch (u.state) {
+        case State::Done:
+            // A replayed unit stored no rendering to compare against; a
+            // result for one would mean a unit was leased after journal
+            // replay marked it done — accept silently rather than
+            // misreport a determinism violation.
+            if (u.replayed || u.rendered == rendered) return ResultOutcome::Duplicate;
+            return ResultOutcome::Mismatch;
+        case State::Failed:
+        case State::Skipped:
+            return ResultOutcome::Stale;
+        case State::Leased:
+            --leased_;
+            [[fallthrough]];
+        case State::Open:
+            u.state = State::Done;
+            u.rendered = std::move(rendered);
+            ++done_;
+            return ResultOutcome::Accepted;
+    }
+    return ResultOutcome::Stale;  // unreachable
+}
+
+bool LeaseLedger::on_body_failure(int unit, int attempt, const std::string& message,
+                                  std::int64_t now_ms) {
+    check_unit(unit, units_.size());
+    Unit& u = units_[static_cast<std::size_t>(unit)];
+    if (u.state == State::Done || u.state == State::Failed ||
+        u.state == State::Skipped) {
+        return false;
+    }
+    // A zombie re-reporting an attempt we already counted changes nothing.
+    if (attempt <= u.body_attempts) return false;
+    u.body_attempts = attempt;
+    if (u.state == State::Leased) {
+        u.state = State::Open;
+        --leased_;
+    }
+    if (u.body_attempts >= config_.max_attempts) {
+        fail_unit(u, message);
+        return true;
+    }
+    u.not_before_ms = now_ms + backoff_ms(u.body_attempts);
+    return false;
+}
+
+bool LeaseLedger::on_lease_lost(int unit, const std::string& reason,
+                                std::int64_t now_ms) {
+    check_unit(unit, units_.size());
+    Unit& u = units_[static_cast<std::size_t>(unit)];
+    if (u.state != State::Leased) return false;
+    u.state = State::Open;
+    --leased_;
+    ++u.reassigns;
+    if (u.reassigns > config_.max_reassigns) {
+        fail_unit(u, "reassignment limit exhausted (" +
+                         std::to_string(config_.max_reassigns) + "): " + reason);
+        return true;
+    }
+    u.not_before_ms = now_ms + backoff_ms(u.reassigns);
+    return false;
+}
+
+std::vector<int> LeaseLedger::expire_overdue(std::int64_t now_ms) {
+    std::vector<int> expired;
+    for (std::size_t i = 0; i < units_.size(); ++i) {
+        const Unit& u = units_[i];
+        if (u.state == State::Leased && u.deadline_ms <= now_ms) {
+            expired.push_back(static_cast<int>(i));
+        }
+    }
+    for (const int unit : expired) {
+        on_lease_lost(unit, "lease expired (heartbeat lapse)", now_ms);
+    }
+    return expired;
+}
+
+int LeaseLedger::drop_pending() {
+    int dropped = 0;
+    for (Unit& u : units_) {
+        if (u.state == State::Open || u.state == State::Leased) {
+            if (u.state == State::Leased) --leased_;
+            u.state = State::Skipped;
+            ++skipped_;
+            ++dropped;
+        }
+    }
+    return dropped;
+}
+
+std::optional<std::int64_t> LeaseLedger::next_event(std::int64_t now_ms) const {
+    std::optional<std::int64_t> earliest;
+    for (const Unit& u : units_) {
+        std::int64_t at = 0;
+        if (u.state == State::Leased) {
+            at = u.deadline_ms;
+        } else if (u.state == State::Open && u.not_before_ms > now_ms) {
+            at = u.not_before_ms;
+        } else {
+            continue;
+        }
+        if (!earliest || at < *earliest) earliest = at;
+    }
+    return earliest;
+}
+
+int LeaseLedger::body_attempts(int unit) const {
+    check_unit(unit, units_.size());
+    return units_[static_cast<std::size_t>(unit)].body_attempts;
+}
+
+bool LeaseLedger::unit_done(int unit) const {
+    check_unit(unit, units_.size());
+    return units_[static_cast<std::size_t>(unit)].state == State::Done;
+}
+
+bool LeaseLedger::all_settled() const {
+    for (const Unit& u : units_) {
+        if (u.state == State::Open || u.state == State::Leased) return false;
+    }
+    return true;
+}
+
+std::vector<int> LeaseLedger::open_units() const {
+    std::vector<int> open;
+    for (std::size_t i = 0; i < units_.size(); ++i) {
+        const State s = units_[i].state;
+        if (s == State::Open || s == State::Leased) open.push_back(static_cast<int>(i));
+    }
+    return open;
+}
+
+std::vector<LedgerFailure> LeaseLedger::failures() const {
+    std::vector<LedgerFailure> out;
+    for (std::size_t i = 0; i < units_.size(); ++i) {
+        const Unit& u = units_[i];
+        if (u.state != State::Failed) continue;
+        LedgerFailure failure;
+        failure.unit = static_cast<int>(i);
+        // Infra-exhausted units may never have run a body; report at
+        // least one attempt so downstream accounting stays positive.
+        failure.attempts = std::max(u.body_attempts, 1);
+        failure.message = u.fail_message;
+        out.push_back(std::move(failure));
+    }
+    return out;
+}
+
+std::int64_t LeaseLedger::backoff_ms(int failures) const noexcept {
+    if (failures <= 0 || config_.backoff_base_ms == 0) return 0;
+    const int shift = std::min(failures - 1, 20);
+    const std::int64_t delay = static_cast<std::int64_t>(config_.backoff_base_ms)
+                               << shift;
+    return std::min<std::int64_t>(delay, config_.backoff_cap_ms);
+}
+
+void LeaseLedger::fail_unit(Unit& unit, std::string message) {
+    if (unit.state == State::Leased) --leased_;
+    unit.state = State::Failed;
+    unit.fail_message = std::move(message);
+}
+
+}  // namespace smn::net

@@ -1,0 +1,176 @@
+// ledger.hpp — pure lease bookkeeping for the distributed-sweep
+// coordinator.
+//
+// The LeaseLedger owns every scheduling and recovery decision — which
+// unit to lease next, when a lease has expired, how many times a unit may
+// fail or be reassigned, whether a late completion is a harmless
+// duplicate or a determinism violation — while performing no I/O and
+// reading no clock. Time enters exclusively as explicit `now_ms`
+// arguments, so every recovery path (heartbeat loss, worker death,
+// bounded reassignment, exponential backoff, zombie dedup) is unit
+// testable with a synthetic clock, no sockets or sleeps involved. The
+// coordinator is then just plumbing: sockets in, ledger decisions out.
+//
+// Unit lifecycle:
+//
+//     Open ──lease──▶ Leased ──result──▶ Done
+//      ▲                │ │
+//      │   lost/expired │ │ body fail (attempts < max)   reassigns or
+//      └────────────────┘ └──▶ Open (backoff)            attempts
+//                         └──▶ Failed (bounds exhausted) exhausted
+//
+// Two independent bounds, deliberately separate:
+//   - body failures (the unit's own code threw) are bounded by
+//     max_attempts = 1 + retries, matching sim::ReplicationPool's
+//     run_units_tolerant semantics exactly;
+//   - infrastructure losses (worker died, heartbeat lapsed, connection
+//     dropped mid-result) are bounded by max_reassigns, because a crashy
+//     fabric must not eat the user's retry budget for honest body bugs.
+// Both reschedule with exponential backoff so a poisoned unit cannot
+// busy-spin the coordinator.
+//
+// Retries never reseed: a unit's seed is a pure function of its index
+// (the determinism contract), so any two completions of the same unit —
+// including one from a zombie worker whose lease was already reassigned —
+// must be bit-identical. on_result enforces that by comparing the
+// canonical rendering of a duplicate against the stored winner.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace smn::net {
+
+/// Tuning knobs for the ledger. Defaults suit local-socket fabrics.
+struct LedgerConfig {
+    int max_attempts{1};     ///< body-failure bound per unit (1 + retries)
+    int max_reassigns{5};    ///< infrastructure-loss bound per unit
+    int lease_ms{2000};      ///< lease lifetime granted per lease/heartbeat
+    int backoff_base_ms{50};  ///< first retry delay; doubles per failure
+    int backoff_cap_ms{2000};  ///< retry delay ceiling
+};
+
+/// One granted lease. `attempt` is the 1-based body attempt this lease
+/// represents (reassignments after infrastructure loss keep the attempt
+/// number — no body ran).
+struct Lease {
+    int unit{-1};
+    int attempt{1};
+    std::int64_t deadline_ms{0};
+};
+
+/// One unit that exhausted a bound. Mirrors sim::UnitFailure's
+/// (unit, attempts, message) triple so exp-level reporting is uniform.
+struct LedgerFailure {
+    int unit{-1};
+    int attempts{0};
+    std::string message;
+};
+
+/// What on_result decided about a completion report.
+enum class ResultOutcome {
+    Accepted,   ///< first completion: recorded, unit now Done
+    Duplicate,  ///< unit already Done with an identical rendering (zombie)
+    Mismatch,   ///< unit already Done with a DIFFERENT rendering — the
+                ///< determinism contract is broken; caller must hard-fail
+    Stale,      ///< unit already Failed or Skipped; report discarded
+};
+
+class LeaseLedger {
+public:
+    LeaseLedger(int total_units, LedgerConfig config);
+
+    /// Marks a unit Done before any leasing (journal-replayed on resume).
+    /// No rendering is stored, so a later duplicate cannot be verified —
+    /// but replayed units are never leased, so none should arrive.
+    void mark_replayed(int unit);
+
+    /// Grants a lease on the lowest-indexed eligible unit (Open and past
+    /// its backoff), or nullopt if nothing is currently leasable.
+    [[nodiscard]] std::optional<Lease> next_lease(std::int64_t now_ms);
+
+    /// Extends the active lease's deadline. Returns false (no-op) if the
+    /// unit is not currently leased — a heartbeat from a zombie.
+    bool on_heartbeat(int unit, std::int64_t now_ms);
+
+    /// Records a completion. `rendered` must be the canonical rendering
+    /// of the unit's metrics (protocol result payload): duplicates are
+    /// compared byte-for-byte against the stored winner.
+    [[nodiscard]] ResultOutcome on_result(int unit, std::string rendered);
+
+    /// Records a body failure for the given attempt. Attempts at or below
+    /// the highest already counted are zombie duplicates and ignored.
+    /// Returns true if the unit just exhausted max_attempts (now Failed).
+    bool on_body_failure(int unit, int attempt, const std::string& message,
+                         std::int64_t now_ms);
+
+    /// Releases a lease whose holder is gone (connection dropped, worker
+    /// died, frame truncated). Counts one reassignment; the unit goes
+    /// back to Open with backoff, or Failed once max_reassigns is
+    /// exhausted. Returns true in the exhausted case. No-op unless the
+    /// unit is currently Leased.
+    bool on_lease_lost(int unit, const std::string& reason, std::int64_t now_ms);
+
+    /// Expires every lease whose deadline has passed (heartbeat lapse),
+    /// applying on_lease_lost to each. Returns the expired unit indices
+    /// so the coordinator can mark their holders suspect.
+    [[nodiscard]] std::vector<int> expire_overdue(std::int64_t now_ms);
+
+    /// Marks every unit that is not Done/Failed as Skipped (stop
+    /// requested). Returns how many were skipped.
+    int drop_pending();
+
+    /// Earliest future instant at which a decision becomes possible: the
+    /// nearest lease deadline or backoff expiry. nullopt when nothing is
+    /// pending — used to bound the coordinator's poll timeout.
+    [[nodiscard]] std::optional<std::int64_t> next_event(std::int64_t now_ms) const;
+
+    [[nodiscard]] bool unit_done(int unit) const;
+    /// Body attempts already counted against a unit (failed so far) —
+    /// the degrade-to-inline path numbers its local attempts after them.
+    [[nodiscard]] int body_attempts(int unit) const;
+    [[nodiscard]] bool all_settled() const;  ///< no unit Open or Leased
+    [[nodiscard]] int done_count() const noexcept { return done_; }
+    [[nodiscard]] int skipped_count() const noexcept { return skipped_; }
+    [[nodiscard]] int leased_count() const noexcept { return leased_; }
+    [[nodiscard]] int total_units() const noexcept {
+        return static_cast<int>(units_.size());
+    }
+
+    /// Units still runnable (Open or Leased) — what the degrade-to-inline
+    /// path executes serially when the worker pool shrinks to zero.
+    [[nodiscard]] std::vector<int> open_units() const;
+
+    /// Units that exhausted a bound, sorted by unit index.
+    [[nodiscard]] std::vector<LedgerFailure> failures() const;
+
+    /// Retry delay before attempt/reassignment number `n` (1-based
+    /// failure count): backoff_base_ms << (n-1), capped at backoff_cap_ms.
+    [[nodiscard]] std::int64_t backoff_ms(int failures) const noexcept;
+
+private:
+    enum class State { Open, Leased, Done, Failed, Skipped };
+
+    struct Unit {
+        State state{State::Open};
+        int body_attempts{0};  ///< body attempts that have completed (failed)
+        int reassigns{0};      ///< infrastructure losses so far
+        std::int64_t not_before_ms{0};  ///< backoff gate while Open
+        std::int64_t deadline_ms{0};    ///< lease expiry while Leased
+        std::string rendered;  ///< winning result rendering (Done only)
+        std::string fail_message;
+        bool replayed{false};
+    };
+
+    void fail_unit(Unit& unit, std::string message);
+
+    LedgerConfig config_;
+    std::vector<Unit> units_;
+    int done_{0};
+    int leased_{0};
+    int skipped_{0};
+};
+
+}  // namespace smn::net

@@ -1,0 +1,286 @@
+#include "net/protocol.hpp"
+
+#include <charconv>
+#include <vector>
+
+#include "util/number.hpp"
+
+namespace smn::net {
+namespace {
+
+[[noreturn]] void fail(const std::string& reason) {
+    throw ProtocolError("fabric protocol: " + reason);
+}
+
+std::uint64_t fnv1a(std::uint64_t hash, std::string_view bytes) noexcept {
+    for (const char c : bytes) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t hash, std::uint64_t value) noexcept {
+    char bytes[8];
+    for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(value >> (8 * i));
+    return fnv1a(hash, std::string_view{bytes, 8});
+}
+
+std::string hex16(std::uint64_t value) {
+    static constexpr char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[value & 0xf];
+        value >>= 4;
+    }
+    return out;
+}
+
+std::uint64_t parse_hex16(std::string_view token, const char* what) {
+    std::uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value, 16);
+    if (token.size() != 16 || ec != std::errc{} ||
+        ptr != token.data() + token.size()) {
+        fail(std::string{what} + ": bad fingerprint '" + std::string{token} + "'");
+    }
+    return value;
+}
+
+template <typename Int>
+Int parse_int(std::string_view token, const char* what) {
+    Int value{};
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (token.empty() || ec != std::errc{} || ptr != token.data() + token.size()) {
+        fail(std::string{what} + ": bad integer '" + std::string{token} + "'");
+    }
+    return value;
+}
+
+double parse_metric(std::string_view token, const char* what) {
+    double value = 0.0;
+    if (!util::parse_double(token, value)) {
+        fail(std::string{what} + ": bad double '" + std::string{token} + "'");
+    }
+    return value;
+}
+
+/// Splits on single spaces. Empty tokens (doubled spaces, leading space)
+/// are protocol violations — formatters never produce them.
+std::vector<std::string_view> tokenize(std::string_view payload) {
+    std::vector<std::string_view> tokens;
+    std::size_t start = 0;
+    while (start <= payload.size()) {
+        const auto space = payload.find(' ', start);
+        const auto end = space == std::string_view::npos ? payload.size() : space;
+        if (end == start) fail("empty token in '" + std::string{payload} + "'");
+        tokens.push_back(payload.substr(start, end - start));
+        if (space == std::string_view::npos) break;
+        start = space + 1;
+    }
+    if (tokens.empty()) fail("empty payload");
+    return tokens;
+}
+
+/// Strips "key=" from a token, failing if the key differs.
+std::string_view expect_kv(std::string_view token, std::string_view key,
+                           const char* what) {
+    if (token.size() <= key.size() + 1 || token.substr(0, key.size()) != key ||
+        token[key.size()] != '=') {
+        fail(std::string{what} + ": expected " + std::string{key} + "=..., got '" +
+             std::string{token} + "'");
+    }
+    return token.substr(key.size() + 1);
+}
+
+void expect_arity(const std::vector<std::string_view>& tokens, std::size_t count,
+                  const char* what) {
+    if (tokens.size() != count) {
+        fail(std::string{what} + ": expected " + std::to_string(count) +
+             " tokens, got " + std::to_string(tokens.size()));
+    }
+}
+
+/// Rest of the payload after the first `fields` space-separated tokens —
+/// used for the free-text tail of hello/refuse/fail.
+std::string_view tail_after(std::string_view payload, std::size_t fields) {
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < fields; ++i) {
+        const auto space = payload.find(' ', pos);
+        if (space == std::string_view::npos) fail("missing free-text tail");
+        pos = space + 1;
+    }
+    return payload.substr(pos);
+}
+
+}  // namespace
+
+std::uint64_t unit_fingerprint(std::uint64_t sweep_fingerprint,
+                               std::string_view scenario, int unit,
+                               std::uint64_t unit_seed) noexcept {
+    std::uint64_t hash = 1469598103934665603ULL;
+    hash = fnv1a_u64(hash, sweep_fingerprint);
+    hash = fnv1a(hash, scenario);
+    hash = fnv1a_u64(hash, static_cast<std::uint64_t>(unit));
+    hash = fnv1a_u64(hash, unit_seed);
+    return hash;
+}
+
+Message parse_message(std::string_view payload) {
+    const auto tokens = tokenize(payload);
+    const auto verb = tokens[0];
+    Message msg;
+    if (verb == "hello") {
+        // hello v1 fp=.. scenario=.. seed=.. reps=.. hb=.. sweep=<tail>
+        if (tokens.size() < 7) fail("hello: too few tokens");
+        if (tokens[1] != "v1") {
+            fail("hello: unsupported version '" + std::string{tokens[1]} + "'");
+        }
+        msg.kind = Message::Kind::Hello;
+        msg.fingerprint = parse_hex16(expect_kv(tokens[2], "fp", "hello"), "hello");
+        msg.scenario = std::string{expect_kv(tokens[3], "scenario", "hello")};
+        msg.seed = parse_int<std::uint64_t>(expect_kv(tokens[4], "seed", "hello"), "hello");
+        msg.reps = parse_int<int>(expect_kv(tokens[5], "reps", "hello"), "hello");
+        msg.heartbeat_ms = parse_int<int>(expect_kv(tokens[6], "hb", "hello"), "hello");
+        // The sweep text itself may contain spaces, so it is the raw tail
+        // (everything after the 7 fixed fields).
+        msg.sweep_text = std::string{expect_kv(tail_after(payload, 7), "sweep", "hello")};
+        if (msg.reps <= 0 || msg.heartbeat_ms <= 0) {
+            fail("hello: reps and hb must be positive");
+        }
+        return msg;
+    }
+    if (verb == "ready") {
+        expect_arity(tokens, 3, "ready");
+        msg.kind = Message::Kind::Ready;
+        msg.fingerprint = parse_hex16(expect_kv(tokens[1], "fp", "ready"), "ready");
+        msg.pid = parse_int<int>(expect_kv(tokens[2], "pid", "ready"), "ready");
+        return msg;
+    }
+    if (verb == "refuse") {
+        if (tokens.size() < 2) fail("refuse: missing reason");
+        msg.kind = Message::Kind::Refuse;
+        msg.text = std::string{tail_after(payload, 1)};
+        return msg;
+    }
+    if (verb == "lease") {
+        expect_arity(tokens, 5, "lease");
+        msg.kind = Message::Kind::Lease;
+        msg.unit = parse_int<int>(tokens[1], "lease");
+        msg.attempt = parse_int<int>(tokens[2], "lease");
+        msg.fingerprint = parse_hex16(tokens[3], "lease");
+        msg.deadline_ms = parse_int<int>(tokens[4], "lease");
+        if (msg.unit < 0 || msg.attempt < 1 || msg.deadline_ms <= 0) {
+            fail("lease: unit/attempt/deadline out of range");
+        }
+        return msg;
+    }
+    if (verb == "hb") {
+        expect_arity(tokens, 2, "hb");
+        msg.kind = Message::Kind::Heartbeat;
+        msg.unit = parse_int<int>(tokens[1], "hb");
+        return msg;
+    }
+    if (verb == "result") {
+        // result <unit> <attempt> <fp> wall=<d> [name=<d> ...]
+        if (tokens.size() < 5) fail("result: too few tokens");
+        msg.kind = Message::Kind::Result;
+        msg.unit = parse_int<int>(tokens[1], "result");
+        msg.attempt = parse_int<int>(tokens[2], "result");
+        msg.fingerprint = parse_hex16(tokens[3], "result");
+        msg.wall_seconds =
+            parse_metric(expect_kv(tokens[4], "wall", "result"), "result wall");
+        for (std::size_t i = 5; i < tokens.size(); ++i) {
+            const auto eq = tokens[i].find('=');
+            if (eq == std::string_view::npos || eq == 0) {
+                fail("result: bad metric token '" + std::string{tokens[i]} + "'");
+            }
+            const auto name = std::string{tokens[i].substr(0, eq)};
+            if (msg.metrics.count(name) != 0) {
+                fail("result: duplicate metric '" + name + "'");
+            }
+            msg.metrics[name] =
+                parse_metric(tokens[i].substr(eq + 1), "result metric");
+        }
+        return msg;
+    }
+    if (verb == "fail") {
+        if (tokens.size() < 4) fail("fail: too few tokens");
+        msg.kind = Message::Kind::Fail;
+        msg.unit = parse_int<int>(tokens[1], "fail");
+        msg.attempt = parse_int<int>(tokens[2], "fail");
+        msg.text = std::string{tail_after(payload, 3)};
+        return msg;
+    }
+    if (verb == "shutdown") {
+        expect_arity(tokens, 1, "shutdown");
+        msg.kind = Message::Kind::Shutdown;
+        return msg;
+    }
+    fail("unknown verb '" + std::string{verb} + "'");
+}
+
+std::string format_hello(std::uint64_t sweep_fingerprint, const std::string& scenario,
+                         std::uint64_t seed, int reps, int heartbeat_ms,
+                         const std::string& sweep_text) {
+    return "hello v1 fp=" + hex16(sweep_fingerprint) + " scenario=" + scenario +
+           " seed=" + std::to_string(seed) + " reps=" + std::to_string(reps) +
+           " hb=" + std::to_string(heartbeat_ms) + " sweep=" + sweep_text;
+}
+
+std::string format_ready(std::uint64_t sweep_fingerprint, int pid) {
+    return "ready fp=" + hex16(sweep_fingerprint) + " pid=" + std::to_string(pid);
+}
+
+std::string format_refuse(const std::string& reason) {
+    return "refuse " + (reason.empty() ? std::string{"unspecified"} : reason);
+}
+
+std::string format_lease(int unit, int attempt, std::uint64_t unit_fingerprint,
+                         int deadline_ms) {
+    return "lease " + std::to_string(unit) + ' ' + std::to_string(attempt) + ' ' +
+           hex16(unit_fingerprint) + ' ' + std::to_string(deadline_ms);
+}
+
+std::string format_heartbeat(int unit) { return "hb " + std::to_string(unit); }
+
+std::string deterministic_rendering(const std::map<std::string, double>& metrics) {
+    std::string out;
+    for (const auto& [name, value] : metrics) {
+        if (name.rfind("timing.", 0) == 0 || name.rfind("obs.", 0) == 0) continue;
+        if (!out.empty()) out += ' ';
+        out += name;
+        out += '=';
+        out += util::render_double(value);
+    }
+    return out;
+}
+
+std::string format_result(int unit, int attempt, std::uint64_t unit_fingerprint,
+                          double wall_seconds,
+                          const std::map<std::string, double>& metrics) {
+    std::string out = "result " + std::to_string(unit) + ' ' +
+                      std::to_string(attempt) + ' ' + hex16(unit_fingerprint) +
+                      " wall=" + util::render_double(wall_seconds);
+    for (const auto& [name, value] : metrics) {
+        out += ' ';
+        out += name;
+        out += '=';
+        out += util::render_double(value);
+    }
+    return out;
+}
+
+std::string format_fail(int unit, int attempt, const std::string& message) {
+    std::string cleaned = message.empty() ? std::string{"unspecified"} : message;
+    for (char& c : cleaned) {
+        if (c == '\n') c = ' ';
+    }
+    return "fail " + std::to_string(unit) + ' ' + std::to_string(attempt) + ' ' +
+           cleaned;
+}
+
+std::string format_shutdown() { return "shutdown"; }
+
+}  // namespace smn::net

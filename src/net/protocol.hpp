@@ -1,0 +1,110 @@
+// protocol.hpp — the distributed-sweep wire protocol (framing in
+// frame.hpp, grammar here).
+//
+// One coordinator drives N workers over local stream sockets. Every
+// message is a space-tokenized text payload inside a length-checked
+// frame; doubles use the shortest-round-trip encoding shared with the
+// sweep journal (util/number.hpp), which is what keeps remotely-computed
+// metrics bit-identical to locally-computed ones. Conversation, per
+// connection:
+//
+//   coordinator → worker   hello v1 fp=<16hex> scenario=<name> seed=<u64>
+//                            reps=<int> hb=<ms> sweep=<text...>
+//   worker → coordinator   ready fp=<16hex> pid=<int>
+//                        | refuse <reason...>        (hard config mismatch)
+//   coordinator → worker   lease <unit> <attempt> <16hex unit-fp> <deadline-ms>
+//   worker → coordinator   hb <unit>                 (while computing)
+//                        | result <unit> <attempt> <16hex> wall=<d> [k=<d> ...]
+//                        | fail <unit> <attempt> <message...>
+//   coordinator → worker   shutdown
+//
+// The hello carries the *sweep fingerprint* (io::sweep_fingerprint over
+// seed/reps/(scenario, sweep)/build git SHA). The worker recomputes it
+// from the hello fields plus its OWN build SHA and refuses on mismatch —
+// a coordinator and worker from different builds can never exchange
+// units, mirroring the journal's resume semantics. Each lease
+// additionally carries a *unit fingerprint* binding (sweep fp, scenario,
+// unit index, derived unit seed): the worker verifies it against its own
+// seed derivation before computing (divergent derivations hard-fail
+// instead of silently producing wrong statistics), and echoes it in the
+// result for the coordinator to verify.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "net/frame.hpp"
+
+namespace smn::net {
+
+/// Fingerprint of one (sweep, unit) work item: binds the sweep
+/// fingerprint, scenario name, flat unit index, and the unit's derived
+/// RNG seed. FNV-1a, like io::sweep_fingerprint.
+[[nodiscard]] std::uint64_t unit_fingerprint(std::uint64_t sweep_fingerprint,
+                                             std::string_view scenario, int unit,
+                                             std::uint64_t unit_seed) noexcept;
+
+/// One parsed protocol message. Tagged union kept flat (a handful of
+/// scalar fields) — only the fields of the active kind are meaningful.
+struct Message {
+    enum class Kind { Hello, Ready, Refuse, Lease, Heartbeat, Result, Fail, Shutdown };
+
+    Kind kind{Kind::Shutdown};
+    // hello
+    std::string scenario;
+    std::uint64_t seed{0};
+    int reps{0};
+    int heartbeat_ms{0};
+    std::string sweep_text;
+    // hello / ready / lease / result: the relevant fingerprint
+    std::uint64_t fingerprint{0};
+    // ready
+    int pid{0};
+    // lease / hb / result / fail
+    int unit{-1};
+    int attempt{0};
+    // lease
+    int deadline_ms{0};
+    // result
+    double wall_seconds{0.0};
+    std::map<std::string, double> metrics;
+    // refuse / fail
+    std::string text;
+};
+
+/// Parses one frame payload. Throws ProtocolError on an unknown verb,
+/// missing or malformed fields, or values that fail to parse exactly.
+[[nodiscard]] Message parse_message(std::string_view payload);
+
+// --- formatters (each returns a frame payload; pass to encode_frame) ---
+
+[[nodiscard]] std::string format_hello(std::uint64_t sweep_fingerprint,
+                                       const std::string& scenario, std::uint64_t seed,
+                                       int reps, int heartbeat_ms,
+                                       const std::string& sweep_text);
+[[nodiscard]] std::string format_ready(std::uint64_t sweep_fingerprint, int pid);
+[[nodiscard]] std::string format_refuse(const std::string& reason);
+[[nodiscard]] std::string format_lease(int unit, int attempt,
+                                       std::uint64_t unit_fingerprint, int deadline_ms);
+[[nodiscard]] std::string format_heartbeat(int unit);
+/// Canonical rendering of a unit's *deterministic* metrics: map order,
+/// shared double encoding, with the host-dependent names (wall time and
+/// the reserved timing./obs. prefixes) excluded. Two completions of the
+/// same unit must render identically — this is the string the
+/// coordinator's ledger dedups zombie duplicates against.
+[[nodiscard]] std::string deterministic_rendering(
+    const std::map<std::string, double>& metrics);
+
+/// The metric section of a result is rendered deterministically (map
+/// order, shared double encoding); the coordinator compares these
+/// renderings verbatim to assert duplicate completions are bit-identical.
+[[nodiscard]] std::string format_result(int unit, int attempt,
+                                        std::uint64_t unit_fingerprint,
+                                        double wall_seconds,
+                                        const std::map<std::string, double>& metrics);
+[[nodiscard]] std::string format_fail(int unit, int attempt, const std::string& message);
+[[nodiscard]] std::string format_shutdown();
+
+}  // namespace smn::net

@@ -1,0 +1,29 @@
+#include "net/socket_io.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+
+#include "net/frame.hpp"
+
+namespace smn::net {
+
+bool send_all(int fd, std::string_view bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n =
+            ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool send_frame(int fd, const std::string& payload) {
+    return send_all(fd, encode_frame(payload));
+}
+
+}  // namespace smn::net

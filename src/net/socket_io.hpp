@@ -1,0 +1,21 @@
+// socket_io.hpp — blocking-socket send helpers shared by the worker and
+// coordinator sides of the fabric. EINTR- and short-send-safe, SIGPIPE
+// suppressed (a vanished peer must surface as a return value on the
+// calling path, not kill the process).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace smn::net {
+
+/// Sends every byte of `bytes` on `fd`. Returns false once the peer is
+/// unreachable (EPIPE/ECONNRESET/...).
+[[nodiscard]] bool send_all(int fd, std::string_view bytes);
+
+/// Frames `payload` (encode_frame) and sends it. Returns false when the
+/// peer is gone; throws ProtocolError only for sender-side bugs
+/// (oversized payload, embedded newline).
+[[nodiscard]] bool send_frame(int fd, const std::string& payload);
+
+}  // namespace smn::net

@@ -1,0 +1,262 @@
+#include "net/worker.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "net/socket_io.hpp"
+#include "util/failpoint.hpp"
+
+namespace smn::net {
+namespace {
+
+/// Serialized writer shared by the serve loop and the heartbeat thread.
+class FrameWriter {
+public:
+    explicit FrameWriter(int fd) : fd_{fd} {}
+
+    bool send_payload(const std::string& payload) {
+        const std::string frame = encode_frame(payload);
+        const std::lock_guard<std::mutex> lock{mutex_};
+        return send_all(fd_, frame);
+    }
+
+    /// Injected torn write: the frame's length prefix and a payload
+    /// prefix, newline-terminated so the receiver parses (and rejects)
+    /// the line instead of waiting forever.
+    bool send_truncated(const std::string& payload) {
+        std::string torn;
+        torn.reserve(payload.size() + 16);
+        torn += '#';
+        torn += std::to_string(payload.size());
+        torn += ' ';
+        torn.append(payload.data(), payload.size() / 2);
+        torn += '\n';
+        const std::lock_guard<std::mutex> lock{mutex_};
+        return send_all(fd_, torn);
+    }
+
+private:
+    int fd_;
+    std::mutex mutex_;
+};
+
+/// Background heartbeater: while a unit index is set, emits `hb <unit>`
+/// every interval. Started once per connection; the serve loop sets and
+/// clears the unit around each computation.
+class Heartbeater {
+public:
+    Heartbeater(FrameWriter& writer, int interval_ms)
+        : writer_{writer}, interval_ms_{interval_ms < 1 ? 1 : interval_ms} {
+        thread_ = std::thread{[this] { loop(); }};
+    }
+
+    ~Heartbeater() {
+        {
+            const std::lock_guard<std::mutex> lock{mutex_};
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+    void begin_unit(int unit) { unit_.store(unit, std::memory_order_release); }
+    void end_unit() { unit_.store(-1, std::memory_order_release); }
+
+private:
+    void loop() {
+        std::unique_lock<std::mutex> lock{mutex_};
+        while (!stop_) {
+            cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_));
+            if (stop_) break;
+            const int unit = unit_.load(std::memory_order_acquire);
+            if (unit < 0) continue;
+            lock.unlock();
+            // A failed heartbeat means the coordinator is gone; the serve
+            // loop will see the same condition on its next send/read.
+            (void)writer_.send_payload(format_heartbeat(unit));
+            lock.lock();
+        }
+    }
+
+    FrameWriter& writer_;
+    int interval_ms_;
+    std::atomic<int> unit_{-1};
+    std::thread thread_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_{false};
+};
+
+/// Blocking message source: recv into the frame reader until a complete
+/// message is available. nullopt on orderly EOF.
+class MessageSource {
+public:
+    explicit MessageSource(int fd) : fd_{fd} {}
+
+    std::optional<Message> next() {
+        std::string payload;
+        while (true) {
+            if (reader_.next(payload)) return parse_message(payload);
+            char buf[4096];
+            const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+            if (n < 0) {
+                if (errno == EINTR) continue;
+                throw ProtocolError(std::string{"fabric worker: recv failed: "} +
+                                    std::strerror(errno));
+            }
+            if (n == 0) {
+                if (reader_.pending() != 0) {
+                    throw ProtocolError("fabric worker: coordinator died mid-frame");
+                }
+                return std::nullopt;
+            }
+            reader_.feed(std::string_view{buf, static_cast<std::size_t>(n)});
+        }
+    }
+
+private:
+    int fd_;
+    FrameReader reader_;
+};
+
+bool seam_fires(const std::function<bool(int)>& seam, const char* failpoint_site,
+                int unit) {
+    if (seam) return seam(unit);
+    return util::failpoint_fires(failpoint_site);
+}
+
+}  // namespace
+
+int serve_connection(int fd, const WorkerHooks& hooks, const WorkerSeams& seams) {
+    try {
+        MessageSource source{fd};
+        FrameWriter writer{fd};
+
+        const auto first = source.next();
+        if (!first) return kWorkerExitOk;  // coordinator gave up before hello
+        if (first->kind != Message::Kind::Hello) {
+            throw ProtocolError("fabric worker: expected hello, got other message");
+        }
+        const Message hello = *first;
+
+        std::uint64_t own_fingerprint = 0;
+        try {
+            own_fingerprint = hooks.prepare(hello);
+        } catch (const std::exception& e) {
+            (void)writer.send_payload(format_refuse(e.what()));
+            return kWorkerExitRefused;
+        }
+        if (own_fingerprint != hello.fingerprint) {
+            (void)writer.send_payload(
+                format_refuse("sweep fingerprint mismatch (coordinator and worker "
+                              "builds or configs differ)"));
+            return kWorkerExitRefused;
+        }
+        if (!writer.send_payload(format_ready(own_fingerprint, ::getpid()))) {
+            return kWorkerExitOk;  // coordinator vanished; nothing to clean up
+        }
+
+        Heartbeater heartbeater{writer, hello.heartbeat_ms / 3};
+
+        while (true) {
+            const auto msg = source.next();
+            if (!msg || msg->kind == Message::Kind::Shutdown) return kWorkerExitOk;
+            if (msg->kind != Message::Kind::Lease) {
+                throw ProtocolError("fabric worker: unexpected message while idle");
+            }
+
+            const int unit = msg->unit;
+            const std::uint64_t seed = hooks.unit_seed(unit);
+            const std::uint64_t expected =
+                unit_fingerprint(hello.fingerprint, hello.scenario, unit, seed);
+            if (expected != msg->fingerprint) {
+                // Coordinator and worker derive different seeds for the
+                // same unit: computing would silently corrupt statistics.
+                throw ProtocolError(
+                    "fabric worker: lease fingerprint mismatch on unit " +
+                    std::to_string(unit) + " (divergent unit seed derivation)");
+            }
+
+            const bool quiet = seam_fires(seams.suppress_heartbeats, "net_hb_loss", unit);
+            if (!quiet) heartbeater.begin_unit(unit);
+            std::map<std::string, double> metrics;
+            double wall_seconds = 0.0;
+            try {
+                hooks.run_unit(unit, seed, metrics, wall_seconds);
+            } catch (const std::exception& e) {
+                heartbeater.end_unit();
+                if (!writer.send_payload(format_fail(unit, msg->attempt, e.what()))) {
+                    return kWorkerExitOk;
+                }
+                continue;
+            }
+            heartbeater.end_unit();
+
+            const std::string payload = format_result(unit, msg->attempt, expected,
+                                                      wall_seconds, metrics);
+            if (seam_fires(seams.drop_connection, "net_conn_drop", unit)) {
+                ::shutdown(fd, SHUT_RDWR);
+                return kWorkerExitInjected;
+            }
+            if (seam_fires(seams.truncate_result, "net_result_truncate", unit)) {
+                (void)writer.send_truncated(payload);
+                ::shutdown(fd, SHUT_RDWR);
+                return kWorkerExitInjected;
+            }
+            if (!writer.send_payload(payload)) return kWorkerExitOk;
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "smn_lab worker: %s\n", e.what());
+        return kWorkerExitProtocol;
+    }
+}
+
+int run_worker(const std::string& socket_path, const WorkerHooks& hooks,
+               const WorkerSeams& seams) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof addr.sun_path) {
+        std::fprintf(stderr, "smn_lab worker: socket path too long: %s\n",
+                     socket_path.c_str());
+        return kWorkerExitProtocol;
+    }
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::fprintf(stderr, "smn_lab worker: socket: %s\n", std::strerror(errno));
+        return kWorkerExitProtocol;
+    }
+    // The coordinator listens before spawning, but an externally-started
+    // worker may race it: retry briefly instead of failing on the first
+    // ECONNREFUSED/ENOENT.
+    int rc = -1;
+    for (int i = 0; i < 100; ++i) {
+        rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+        if (rc == 0) break;
+        if (errno != ECONNREFUSED && errno != ENOENT && errno != EINTR) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (rc != 0) {
+        std::fprintf(stderr, "smn_lab worker: connect %s: %s\n", socket_path.c_str(),
+                     std::strerror(errno));
+        ::close(fd);
+        return kWorkerExitProtocol;
+    }
+    const int code = serve_connection(fd, hooks, seams);
+    ::close(fd);
+    return code;
+}
+
+}  // namespace smn::net

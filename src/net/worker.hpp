@@ -1,0 +1,90 @@
+// worker.hpp — the worker half of the distributed-sweep fabric.
+//
+// A worker is a loop around one coordinator connection: receive the
+// hello, verify the sweep fingerprint against its own build, then serve
+// leases — derive the unit's seed, verify the lease's unit fingerprint,
+// compute, stream the result back — heartbeating while a unit is in
+// flight so the coordinator can tell "slow" from "dead".
+//
+// The net layer knows nothing about experiments: what a unit *is* comes
+// in through WorkerHooks (smn_lab binds them to exp::Scenario /
+// exp::SweepSpec / rng seed derivation). That keeps the dependency arrow
+// pointing one way (tools → exp + net, never net → exp) and makes the
+// worker loop testable with synthetic hooks over a socketpair.
+//
+// Failure seams: the three injectable faults the robustness suite needs —
+// heartbeat loss (zombie worker), connection drop before a result, torn
+// result frame — are WorkerSeams callbacks defaulting to the fail points
+// net_hb_loss / net_conn_drop / net_result_truncate, so shell-level tests
+// arm them via SMN_FAILPOINTS while unit tests override them directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/protocol.hpp"
+
+namespace smn::net {
+
+/// Worker exit codes (also the return values of serve_connection).
+inline constexpr int kWorkerExitOk = 0;        ///< shutdown or coordinator EOF
+inline constexpr int kWorkerExitProtocol = 2;  ///< protocol violation on the wire
+inline constexpr int kWorkerExitRefused = 4;   ///< fingerprint/config mismatch
+inline constexpr int kWorkerExitInjected = 5;  ///< a failure seam fired
+
+/// What the embedding binary must provide to turn lease numbers into
+/// computed units. All three are called from the worker's serve thread
+/// only (never concurrently).
+struct WorkerHooks {
+    /// Validates the hello and prepares unit execution (parse the sweep,
+    /// bind the scenario). Returns THIS build's fingerprint for the
+    /// hello's (seed, reps, scenario, sweep text); the worker refuses the
+    /// coordinator when it differs from the hello's. Throwing also
+    /// refuses, with the exception text as the reason.
+    std::function<std::uint64_t(const Message& hello)> prepare;
+
+    /// Derives the deterministic RNG seed for a flat unit index. Must
+    /// match the coordinator's derivation — the lease's unit fingerprint
+    /// binds it, and a mismatch is a hard protocol error.
+    std::function<std::uint64_t(int unit)> unit_seed;
+
+    /// Computes one unit. Fills the unit's metric map (whose canonical
+    /// rendering the coordinator dedups on) and the wall-clock seconds
+    /// spent. A throw is reported as a body failure for that attempt.
+    std::function<void(int unit, std::uint64_t seed,
+                       std::map<std::string, double>& metrics, double& wall_seconds)>
+        run_unit;
+};
+
+/// Fault-injection seams, evaluated once per computed unit. Leave a seam
+/// empty to use its fail-point default.
+struct WorkerSeams {
+    /// Don't heartbeat while computing this unit (fail point net_hb_loss):
+    /// the coordinator expires the lease and this worker turns zombie —
+    /// its late result must dedup, not corrupt.
+    std::function<bool(int unit)> suppress_heartbeats;
+    /// Sever the connection instead of sending this unit's result (fail
+    /// point net_conn_drop); worker exits kWorkerExitInjected.
+    std::function<bool(int unit)> drop_connection;
+    /// Send a torn result frame — declared length intact, payload cut
+    /// short (fail point net_result_truncate) — then exit. The
+    /// coordinator must detect the truncation, not consume a prefix.
+    std::function<bool(int unit)> truncate_result;
+};
+
+/// Serves one coordinator connection on an already-connected stream
+/// socket until shutdown, coordinator EOF, or a hard error. Returns a
+/// kWorkerExit* code. Never throws.
+[[nodiscard]] int serve_connection(int fd, const WorkerHooks& hooks,
+                                   const WorkerSeams& seams = {});
+
+/// Connects to the coordinator's AF_UNIX socket at `socket_path`
+/// (retrying briefly while the listener comes up) and serves the
+/// connection. Returns a kWorkerExit* code; connection failure is a
+/// protocol-level exit.
+[[nodiscard]] int run_worker(const std::string& socket_path, const WorkerHooks& hooks,
+                             const WorkerSeams& seams = {});
+
+}  // namespace smn::net

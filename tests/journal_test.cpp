@@ -242,6 +242,31 @@ TEST(SweepJournal, AppendFailPointSurfacesAsInjectedFault) {
     EXPECT_EQ(resumed.replayed(), 1u);
 }
 
+TEST(SweepJournal, ShortWritesAreRetriedToCompletion) {
+    // The journal_short_write fail point forces the first ::write of each
+    // line (header and records alike) to land a single byte; without the
+    // retry loop the header or record would be torn and the resume below
+    // would see a corrupt journal.
+    TempFile file{"fp_short"};
+    util::FailPoints::instance().configure("journal_short_write=1@0");
+    JournalUnit unit;
+    unit.metrics = {{"broadcast_time", 12.5}, {"steps", 321.0}};
+    unit.wall_seconds = 0.125;
+    {
+        SweepJournal journal{file.path(), 42, false};  // header write is split too
+        journal.record("gossip", 0, unit);
+        journal.record("gossip", 1, unit);
+        journal.sync();
+    }
+    util::FailPoints::instance().configure("");
+    SweepJournal resumed{file.path(), 42, true};
+    EXPECT_EQ(resumed.replayed(), 2u);
+    const auto* found = resumed.find("gossip", 1);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->metrics, unit.metrics);
+    EXPECT_EQ(found->wall_seconds, unit.wall_seconds);
+}
+
 #endif  // SMN_FAILPOINTS_ENABLED
 
 }  // namespace

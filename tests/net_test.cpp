@@ -1,0 +1,680 @@
+// net_test.cpp — the distributed-sweep fabric: framing, protocol
+// grammar, lease ledger, and the worker loop over a socketpair.
+//
+// The fabric's robustness claims live here: torn frames are detected
+// rather than delivering a prefix, zombie duplicates dedup bit-identically
+// or hard-fail, body retries and infrastructure reassignments are bounded
+// independently, and every recovery decision is a pure function of an
+// explicit synthetic clock (no sleeps in the ledger tests).
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/ledger.hpp"
+#include "net/protocol.hpp"
+#include "net/socket_io.hpp"
+#include "net/worker.hpp"
+
+namespace smn::net {
+namespace {
+
+// ---------------------------------------------------------- framing
+
+TEST(Frame, EncodeDecodeRoundTrip) {
+    FrameReader reader;
+    reader.feed(encode_frame("hello world"));
+    reader.feed(encode_frame(""));
+    std::string payload;
+    ASSERT_TRUE(reader.next(payload));
+    EXPECT_EQ(payload, "hello world");
+    ASSERT_TRUE(reader.next(payload));
+    EXPECT_EQ(payload, "");
+    EXPECT_FALSE(reader.next(payload));
+    EXPECT_EQ(reader.pending(), 0u);
+}
+
+TEST(Frame, EncodeRejectsNewlineAndOversize) {
+    EXPECT_THROW((void)encode_frame("two\nlines"), ProtocolError);
+    EXPECT_THROW((void)encode_frame(std::string(kMaxFramePayload + 1, 'x')),
+                 ProtocolError);
+    // The cap itself is fine.
+    EXPECT_NO_THROW((void)encode_frame(std::string(kMaxFramePayload, 'x')));
+}
+
+TEST(Frame, SplitAcrossFeedsReassembles) {
+    const std::string frame = encode_frame("split me");
+    FrameReader reader;
+    std::string payload;
+    for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+        reader.feed(std::string_view{&frame[i], 1});
+        EXPECT_FALSE(reader.next(payload)) << "byte " << i;
+        EXPECT_GT(reader.pending(), 0u);  // incomplete frame stays buffered
+    }
+    reader.feed(std::string_view{&frame.back(), 1});
+    ASSERT_TRUE(reader.next(payload));
+    EXPECT_EQ(payload, "split me");
+}
+
+TEST(Frame, TruncatedPayloadIsDetected) {
+    // Declared length 20, actual payload 6 — the torn-write signature
+    // injected by net_result_truncate. Must be a hard error, never a
+    // silent prefix delivery.
+    FrameReader reader;
+    std::string payload;
+    EXPECT_THROW(
+        {
+            reader.feed("#20 result\n");
+            (void)reader.next(payload);
+        },
+        ProtocolError);
+}
+
+TEST(Frame, GarbageLinesRejected) {
+    const std::vector<std::string> bad = {
+        "result 0 1\n",      // no '#' prefix
+        "#abc payload\n",    // non-numeric length
+        "# 5 x\n",           // empty length
+        "#5payload\n",       // missing space separator
+        "#1048577 x\n",      // declared length beyond the cap
+    };
+    for (const auto& line : bad) {
+        FrameReader reader;
+        std::string payload;
+        EXPECT_THROW(
+            {
+                reader.feed(line);
+                (void)reader.next(payload);
+            },
+            ProtocolError)
+            << line;
+    }
+}
+
+TEST(Frame, RunawayUnterminatedLineRejected) {
+    FrameReader reader;
+    const std::string chunk(1 << 16, 'x');
+    EXPECT_THROW(
+        {
+            for (int i = 0; i < 64; ++i) reader.feed(chunk);  // no '\n' ever
+        },
+        ProtocolError);
+}
+
+// --------------------------------------------------------- messages
+
+TEST(Protocol, HelloRoundTripsWithSpacesInSweepText) {
+    const std::string payload =
+        format_hello(0xDEADBEEFCAFEF00DULL, "grid_broadcast", 42, 8, 250,
+                     "side=16,24,32;k=8 16");
+    const Message msg = parse_message(payload);
+    EXPECT_EQ(msg.kind, Message::Kind::Hello);
+    EXPECT_EQ(msg.fingerprint, 0xDEADBEEFCAFEF00DULL);
+    EXPECT_EQ(msg.scenario, "grid_broadcast");
+    EXPECT_EQ(msg.seed, 42u);
+    EXPECT_EQ(msg.reps, 8);
+    EXPECT_EQ(msg.heartbeat_ms, 250);
+    EXPECT_EQ(msg.sweep_text, "side=16,24,32;k=8 16");  // raw tail, spaces kept
+}
+
+TEST(Protocol, ReadyLeaseHeartbeatShutdownRoundTrip) {
+    Message msg = parse_message(format_ready(7, 1234));
+    EXPECT_EQ(msg.kind, Message::Kind::Ready);
+    EXPECT_EQ(msg.fingerprint, 7u);
+    EXPECT_EQ(msg.pid, 1234);
+
+    msg = parse_message(format_lease(19, 2, 0xABCDULL, 2000));
+    EXPECT_EQ(msg.kind, Message::Kind::Lease);
+    EXPECT_EQ(msg.unit, 19);
+    EXPECT_EQ(msg.attempt, 2);
+    EXPECT_EQ(msg.fingerprint, 0xABCDULL);
+    EXPECT_EQ(msg.deadline_ms, 2000);
+
+    msg = parse_message(format_heartbeat(19));
+    EXPECT_EQ(msg.kind, Message::Kind::Heartbeat);
+    EXPECT_EQ(msg.unit, 19);
+
+    msg = parse_message(format_shutdown());
+    EXPECT_EQ(msg.kind, Message::Kind::Shutdown);
+}
+
+TEST(Protocol, ResultRoundTripsMetricsExactly) {
+    const std::map<std::string, double> metrics = {
+        {"broadcast_time", 321.0}, {"covered", 1.0 / 3.0}, {"steps", 6.02214076e23}};
+    const Message msg =
+        parse_message(format_result(5, 1, 0x1234ULL, 0.25, metrics));
+    EXPECT_EQ(msg.kind, Message::Kind::Result);
+    EXPECT_EQ(msg.unit, 5);
+    EXPECT_EQ(msg.attempt, 1);
+    EXPECT_EQ(msg.fingerprint, 0x1234ULL);
+    EXPECT_EQ(msg.wall_seconds, 0.25);
+    ASSERT_EQ(msg.metrics.size(), metrics.size());
+    for (const auto& [name, value] : metrics) {
+        EXPECT_EQ(msg.metrics.at(name), value) << name;  // bitwise round trip
+    }
+}
+
+TEST(Protocol, FailAndRefuseCarryFreeText) {
+    Message msg = parse_message(format_fail(3, 2, "agent count went\nnegative"));
+    EXPECT_EQ(msg.kind, Message::Kind::Fail);
+    EXPECT_EQ(msg.unit, 3);
+    EXPECT_EQ(msg.attempt, 2);
+    EXPECT_EQ(msg.text, "agent count went negative");  // newline flattened
+
+    msg = parse_message(format_refuse("sweep fingerprint mismatch (builds differ)"));
+    EXPECT_EQ(msg.kind, Message::Kind::Refuse);
+    EXPECT_EQ(msg.text, "sweep fingerprint mismatch (builds differ)");
+}
+
+TEST(Protocol, MalformedMessagesRejected) {
+    const std::vector<std::string> bad = {
+        "",                                     // empty payload
+        "frobnicate 1 2",                       // unknown verb
+        "hello v2 fp=0 scenario=s seed=1 reps=1 hb=1 sweep=x",  // bad version
+        "hello v1 fp=123 scenario=s seed=1 reps=1 hb=1 sweep=x",  // short fp
+        "hello v1 fp=0000000000000000 scenario=s seed=1 reps=0 hb=1 sweep=x",
+        "ready fp=0000000000000000",            // missing pid
+        "lease 0 1 0000000000000000",           // missing deadline
+        "lease -1 1 0000000000000000 100",      // negative unit
+        "lease 0 0 0000000000000000 100",       // attempt < 1
+        "result 0 1 0000000000000000",          // missing wall
+        "result 0 1 0000000000000000 wall=x",   // unparseable double
+        "result 0 1 0000000000000000 wall=1 a=1 a=2",  // duplicate metric
+        "hb",                                   // missing unit
+        "hb 1 2",                               // extra token
+        "shutdown now",                         // extra token
+        "lease  0 1 0000000000000000 100",      // doubled space
+    };
+    for (const auto& payload : bad) {
+        EXPECT_THROW((void)parse_message(payload), ProtocolError) << payload;
+    }
+}
+
+TEST(Protocol, DeterministicRenderingExcludesHostDependentMetrics) {
+    const std::map<std::string, double> metrics = {{"broadcast_time", 12.5},
+                                                   {"obs.engine.steps", 99.0},
+                                                   {"steps", 321.0},
+                                                   {"timing.walk", 0.5}};
+    // wall is not in the map at all (travels separately), and the
+    // reserved host-dependent prefixes are skipped: two completions of
+    // the same unit on different hosts render identically.
+    EXPECT_EQ(deterministic_rendering(metrics), "broadcast_time=12.5 steps=321");
+    EXPECT_EQ(deterministic_rendering({}), "");
+}
+
+TEST(Protocol, UnitFingerprintBindsEveryInput) {
+    const auto base = unit_fingerprint(1, "gossip", 3, 99);
+    EXPECT_EQ(unit_fingerprint(1, "gossip", 3, 99), base);   // deterministic
+    EXPECT_NE(unit_fingerprint(2, "gossip", 3, 99), base);   // sweep fp
+    EXPECT_NE(unit_fingerprint(1, "grid", 3, 99), base);     // scenario
+    EXPECT_NE(unit_fingerprint(1, "gossip", 4, 99), base);   // unit index
+    EXPECT_NE(unit_fingerprint(1, "gossip", 3, 100), base);  // unit seed
+}
+
+// ----------------------------------------------------------- ledger
+
+LedgerConfig small_config() {
+    LedgerConfig config;
+    config.max_attempts = 2;
+    config.max_reassigns = 2;
+    config.lease_ms = 1000;
+    config.backoff_base_ms = 100;
+    config.backoff_cap_ms = 400;
+    return config;
+}
+
+TEST(LeaseLedger, LeasesLowestOpenUnitFirst) {
+    LeaseLedger ledger{3, small_config()};
+    const auto a = ledger.next_lease(0);
+    const auto b = ledger.next_lease(0);
+    const auto c = ledger.next_lease(0);
+    ASSERT_TRUE(a && b && c);
+    EXPECT_EQ(a->unit, 0);
+    EXPECT_EQ(b->unit, 1);
+    EXPECT_EQ(c->unit, 2);
+    EXPECT_EQ(a->attempt, 1);
+    EXPECT_EQ(a->deadline_ms, 1000);
+    EXPECT_FALSE(ledger.next_lease(0));  // everything leased
+    EXPECT_EQ(ledger.leased_count(), 3);
+}
+
+TEST(LeaseLedger, HeartbeatExtendsLeaseDeadline) {
+    LeaseLedger ledger{1, small_config()};
+    (void)ledger.next_lease(0);  // deadline 1000
+    EXPECT_TRUE(ledger.on_heartbeat(0, 900));  // deadline now 1900
+    EXPECT_TRUE(ledger.expire_overdue(1800).empty());
+    const auto expired = ledger.expire_overdue(1901);
+    ASSERT_EQ(expired.size(), 1u);
+    EXPECT_EQ(expired[0], 0);
+    // Heartbeat from a unit that is no longer leased: zombie, ignored.
+    EXPECT_FALSE(ledger.on_heartbeat(0, 2000));
+}
+
+TEST(LeaseLedger, ExpiredLeaseReassignsWithBackoff) {
+    LeaseLedger ledger{1, small_config()};
+    const auto first = ledger.next_lease(0);
+    ASSERT_TRUE(first);
+    const auto expired = ledger.expire_overdue(1500);
+    ASSERT_EQ(expired.size(), 1u);
+    // Reassignment #1: backoff 100 ms from the loss instant.
+    EXPECT_FALSE(ledger.next_lease(1500));
+    EXPECT_FALSE(ledger.next_lease(1599));
+    const auto second = ledger.next_lease(1600);
+    ASSERT_TRUE(second);
+    EXPECT_EQ(second->unit, 0);
+    EXPECT_EQ(second->attempt, 1);  // no body ran: attempt number unchanged
+}
+
+TEST(LeaseLedger, ReassignmentsAreBounded) {
+    // max_reassigns = 2: the unit survives two losses (two reassignments)
+    // and fails on the third.
+    LeaseLedger ledger{1, small_config()};
+    std::int64_t now = 0;
+    (void)ledger.next_lease(now);
+    EXPECT_FALSE(ledger.on_lease_lost(0, "worker died", now));  // reassign 1
+    now += ledger.backoff_ms(1);
+    (void)ledger.next_lease(now);
+    EXPECT_FALSE(ledger.on_lease_lost(0, "worker died", now));  // reassign 2
+    now += ledger.backoff_ms(2);
+    (void)ledger.next_lease(now);
+    EXPECT_TRUE(ledger.on_lease_lost(0, "worker died", now));  // loss 3: exhausted
+    EXPECT_TRUE(ledger.all_settled());
+    const auto failures = ledger.failures();
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_EQ(failures[0].unit, 0);
+    EXPECT_NE(failures[0].message.find("worker died"), std::string::npos);
+    // A loss report for a unit that is not leased is a no-op.
+    EXPECT_FALSE(ledger.on_lease_lost(0, "again", now));
+}
+
+TEST(LeaseLedger, BodyFailuresAreBoundedByMaxAttempts) {
+    LeaseLedger ledger{1, small_config()};  // max_attempts = 2
+    auto lease = ledger.next_lease(0);
+    ASSERT_TRUE(lease);
+    EXPECT_EQ(lease->attempt, 1);
+    EXPECT_FALSE(ledger.on_body_failure(0, 1, "boom", 0));  // retry remains
+    lease = ledger.next_lease(ledger.backoff_ms(1));
+    ASSERT_TRUE(lease);
+    EXPECT_EQ(lease->attempt, 2);  // body attempt number advanced
+    EXPECT_TRUE(ledger.on_body_failure(0, 2, "boom again", 100));  // exhausted
+    const auto failures = ledger.failures();
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_EQ(failures[0].attempts, 2);
+    EXPECT_NE(failures[0].message.find("boom again"), std::string::npos);
+}
+
+TEST(LeaseLedger, StaleBodyFailureFromZombieIgnored) {
+    LeaseLedger ledger{1, small_config()};
+    (void)ledger.next_lease(0);
+    EXPECT_FALSE(ledger.on_body_failure(0, 1, "boom", 0));
+    (void)ledger.next_lease(ledger.backoff_ms(1));
+    // A zombie re-reports attempt 1 after the retry lease went out: the
+    // attempt was already counted, so it must not consume the budget.
+    EXPECT_FALSE(ledger.on_body_failure(0, 1, "boom (zombie)", 50));
+    EXPECT_EQ(ledger.body_attempts(0), 1);
+}
+
+TEST(LeaseLedger, DuplicateCompletionsDedupOrHardFail) {
+    LeaseLedger ledger{2, small_config()};
+    (void)ledger.next_lease(0);
+    EXPECT_EQ(ledger.on_result(0, "steps=321"), ResultOutcome::Accepted);
+    EXPECT_TRUE(ledger.unit_done(0));
+    // Zombie delivers the bit-identical rendering: harmless duplicate.
+    EXPECT_EQ(ledger.on_result(0, "steps=321"), ResultOutcome::Duplicate);
+    // Zombie delivers a DIFFERENT rendering: determinism violation.
+    EXPECT_EQ(ledger.on_result(0, "steps=999"), ResultOutcome::Mismatch);
+    // Results for a Failed unit are stale.
+    (void)ledger.next_lease(0);
+    (void)ledger.on_body_failure(1, 1, "a", 0);
+    (void)ledger.next_lease(ledger.backoff_ms(1));
+    (void)ledger.on_body_failure(1, 2, "b", 200);
+    EXPECT_EQ(ledger.on_result(1, "steps=321"), ResultOutcome::Stale);
+}
+
+TEST(LeaseLedger, ReplayedUnitsAreNeverLeased) {
+    LeaseLedger ledger{3, small_config()};
+    ledger.mark_replayed(1);
+    const auto a = ledger.next_lease(0);
+    const auto b = ledger.next_lease(0);
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(a->unit, 0);
+    EXPECT_EQ(b->unit, 2);  // unit 1 skipped: already Done
+    EXPECT_TRUE(ledger.unit_done(1));
+    EXPECT_EQ(ledger.done_count(), 1);
+}
+
+TEST(LeaseLedger, DropPendingSkipsEverythingUnfinished) {
+    LeaseLedger ledger{4, small_config()};
+    (void)ledger.next_lease(0);
+    EXPECT_EQ(ledger.on_result(0, "x=1"), ResultOutcome::Accepted);
+    (void)ledger.next_lease(0);  // unit 1 leased
+    EXPECT_EQ(ledger.drop_pending(), 3);  // 1 leased + 2 open
+    EXPECT_TRUE(ledger.all_settled());
+    EXPECT_EQ(ledger.skipped_count(), 3);
+    EXPECT_EQ(ledger.done_count(), 1);
+    // Skipped units take no results afterwards.
+    EXPECT_EQ(ledger.on_result(1, "x=1"), ResultOutcome::Stale);
+    // ...and skips are not failures.
+    EXPECT_TRUE(ledger.failures().empty());
+}
+
+TEST(LeaseLedger, NextEventTracksDeadlinesAndBackoffs) {
+    LeaseLedger ledger{2, small_config()};
+    EXPECT_FALSE(ledger.next_event(0).has_value());  // nothing leased yet
+    (void)ledger.next_lease(0);  // deadline 1000
+    auto event = ledger.next_event(0);
+    ASSERT_TRUE(event);
+    EXPECT_EQ(*event, 1000);
+    (void)ledger.on_lease_lost(0, "died", 500);  // backoff until 600
+    event = ledger.next_event(500);
+    ASSERT_TRUE(event);
+    EXPECT_EQ(*event, 600);
+}
+
+TEST(LeaseLedger, BackoffScheduleDoublesToCap) {
+    const LeaseLedger ledger{1, small_config()};  // base 100, cap 400
+    EXPECT_EQ(ledger.backoff_ms(1), 100);
+    EXPECT_EQ(ledger.backoff_ms(2), 200);
+    EXPECT_EQ(ledger.backoff_ms(3), 400);
+    EXPECT_EQ(ledger.backoff_ms(4), 400);   // capped
+    EXPECT_EQ(ledger.backoff_ms(40), 400);  // shift overflow guarded
+}
+
+TEST(LeaseLedger, OpenUnitsListsRunnableWork) {
+    LeaseLedger ledger{3, small_config()};
+    (void)ledger.next_lease(0);
+    EXPECT_EQ(ledger.on_result(0, "x=1"), ResultOutcome::Accepted);
+    (void)ledger.next_lease(0);  // unit 1 leased
+    const auto open = ledger.open_units();
+    ASSERT_EQ(open.size(), 2u);  // leased unit 1 + open unit 2
+    EXPECT_EQ(open[0], 1);
+    EXPECT_EQ(open[1], 2);
+}
+
+// ------------------------------------------- worker over a socketpair
+
+/// Coordinator side of a socketpair conversation with serve_connection.
+class FakeCoordinator {
+public:
+    explicit FakeCoordinator(int fd) : fd_{fd} {}
+
+    void send(const std::string& payload) { ASSERT_TRUE(send_frame(fd_, payload)); }
+
+    /// Blocks for the next message; nullopt at EOF. Throws ProtocolError
+    /// on torn/garbage frames, like the real coordinator.
+    std::optional<Message> next() {
+        std::string payload;
+        while (true) {
+            if (reader_.next(payload)) return parse_message(payload);
+            char buf[4096];
+            const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+            if (n <= 0) return std::nullopt;
+            reader_.feed(std::string_view{buf, static_cast<std::size_t>(n)});
+        }
+    }
+
+    /// Skips heartbeat frames (they race the result), counting them.
+    std::optional<Message> next_non_heartbeat() {
+        while (auto msg = next()) {
+            if (msg->kind == Message::Kind::Heartbeat) {
+                ++heartbeats_;
+                continue;
+            }
+            return msg;
+        }
+        return std::nullopt;
+    }
+
+    [[nodiscard]] int heartbeats() const noexcept { return heartbeats_; }
+
+private:
+    int fd_;
+    FrameReader reader_;
+    int heartbeats_{0};
+};
+
+struct WorkerHarness {
+    WorkerHarness() {
+        int fds[2];
+        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+            throw std::runtime_error("socketpair failed");
+        }
+        coordinator_fd = fds[0];
+        worker_fd = fds[1];
+    }
+    ~WorkerHarness() {
+        ::close(coordinator_fd);
+        ::close(worker_fd);
+        if (thread.joinable()) thread.join();
+    }
+
+    /// Synthetic hooks: fingerprint = hello's (match by default), unit
+    /// seed = unit * 10 + 1, metrics a pure function of (unit, seed).
+    WorkerHooks hooks() {
+        WorkerHooks hooks;
+        hooks.prepare = [this](const Message& hello) {
+            return hello.fingerprint + fingerprint_offset;
+        };
+        hooks.unit_seed = [](int unit) {
+            return static_cast<std::uint64_t>(unit) * 10 + 1;
+        };
+        hooks.run_unit = [this](int unit, std::uint64_t seed,
+                                std::map<std::string, double>& metrics,
+                                double& wall_seconds) {
+            if (compute_ms > 0) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(compute_ms));
+            }
+            if (unit == failing_unit) throw std::runtime_error("unit body exploded");
+            metrics["steps"] = static_cast<double>(unit * 100);
+            metrics["seed_echo"] = static_cast<double>(seed);
+            wall_seconds = 0.001;
+        };
+        return hooks;
+    }
+
+    void start(const WorkerSeams& seams = {}) {
+        thread = std::thread{[this, seams] {
+            exit_code = serve_connection(worker_fd, hooks(), seams);
+            // run_worker closes the fd after serving; here the harness
+            // owns it, so signal EOF to the coordinator side instead.
+            ::shutdown(worker_fd, SHUT_RDWR);
+        }};
+    }
+
+    void join() { thread.join(); }
+
+    static constexpr std::uint64_t kSweepFp = 0x0123456789ABCDEFULL;
+
+    void hello(FakeCoordinator& coordinator, int heartbeat_ms = 300) {
+        coordinator.send(
+            format_hello(kSweepFp, "gossip", 7, 4, heartbeat_ms, "side=12;k=6"));
+    }
+
+    void lease(FakeCoordinator& coordinator, int unit, int attempt = 1) {
+        const std::uint64_t seed = static_cast<std::uint64_t>(unit) * 10 + 1;
+        coordinator.send(format_lease(
+            unit, attempt, unit_fingerprint(kSweepFp, "gossip", unit, seed), 1000));
+    }
+
+    int coordinator_fd{-1};
+    int worker_fd{-1};
+    std::uint64_t fingerprint_offset{0};  ///< nonzero → prepare() mismatches
+    int failing_unit{-1};
+    int compute_ms{0};
+    std::thread thread;
+    int exit_code{-1};
+};
+
+TEST(Worker, ServesLeasesAndShutsDownCleanly) {
+    WorkerHarness harness;
+    harness.start();
+    FakeCoordinator coordinator{harness.coordinator_fd};
+
+    harness.hello(coordinator);
+    auto msg = coordinator.next();
+    ASSERT_TRUE(msg);
+    ASSERT_EQ(msg->kind, Message::Kind::Ready);
+    EXPECT_EQ(msg->fingerprint, WorkerHarness::kSweepFp);
+    EXPECT_GT(msg->pid, 0);
+
+    for (const int unit : {2, 0}) {  // any order, coordinator's choice
+        harness.lease(coordinator, unit);
+        msg = coordinator.next_non_heartbeat();
+        ASSERT_TRUE(msg);
+        ASSERT_EQ(msg->kind, Message::Kind::Result);
+        EXPECT_EQ(msg->unit, unit);
+        EXPECT_EQ(msg->attempt, 1);
+        EXPECT_EQ(msg->metrics.at("steps"), unit * 100);
+        EXPECT_EQ(msg->metrics.at("seed_echo"), unit * 10 + 1);
+    }
+
+    coordinator.send(format_shutdown());
+    harness.join();
+    EXPECT_EQ(harness.exit_code, kWorkerExitOk);
+}
+
+TEST(Worker, BodyFailureReportsFailAndKeepsServing) {
+    WorkerHarness harness;
+    harness.failing_unit = 1;
+    harness.start();
+    FakeCoordinator coordinator{harness.coordinator_fd};
+
+    harness.hello(coordinator);
+    ASSERT_TRUE(coordinator.next());  // ready
+
+    harness.lease(coordinator, 1, /*attempt=*/2);
+    auto msg = coordinator.next_non_heartbeat();
+    ASSERT_TRUE(msg);
+    ASSERT_EQ(msg->kind, Message::Kind::Fail);
+    EXPECT_EQ(msg->unit, 1);
+    EXPECT_EQ(msg->attempt, 2);  // echoes the lease's attempt number
+    EXPECT_NE(msg->text.find("unit body exploded"), std::string::npos);
+
+    harness.lease(coordinator, 0);  // worker still alive after the failure
+    msg = coordinator.next_non_heartbeat();
+    ASSERT_TRUE(msg);
+    EXPECT_EQ(msg->kind, Message::Kind::Result);
+
+    coordinator.send(format_shutdown());
+    harness.join();
+    EXPECT_EQ(harness.exit_code, kWorkerExitOk);
+}
+
+TEST(Worker, FingerprintMismatchRefusesHandshake) {
+    WorkerHarness harness;
+    harness.fingerprint_offset = 1;  // worker computes a different sweep fp
+    harness.start();
+    FakeCoordinator coordinator{harness.coordinator_fd};
+
+    harness.hello(coordinator);
+    const auto msg = coordinator.next();
+    ASSERT_TRUE(msg);
+    ASSERT_EQ(msg->kind, Message::Kind::Refuse);
+    EXPECT_NE(msg->text.find("fingerprint mismatch"), std::string::npos);
+    harness.join();
+    EXPECT_EQ(harness.exit_code, kWorkerExitRefused);
+}
+
+TEST(Worker, LeaseFingerprintMismatchIsAHardError) {
+    WorkerHarness harness;
+    harness.start();
+    FakeCoordinator coordinator{harness.coordinator_fd};
+
+    harness.hello(coordinator);
+    ASSERT_TRUE(coordinator.next());  // ready
+    // Lease whose unit fingerprint was derived from a DIFFERENT seed:
+    // the worker must refuse to compute (silent wrong statistics
+    // otherwise) and hard-exit.
+    coordinator.send(format_lease(
+        0, 1, unit_fingerprint(WorkerHarness::kSweepFp, "gossip", 0, 999), 1000));
+    EXPECT_FALSE(coordinator.next());  // connection closes without a result
+    harness.join();
+    EXPECT_EQ(harness.exit_code, kWorkerExitProtocol);
+}
+
+TEST(Worker, HeartbeatsFlowWhileComputing) {
+    WorkerHarness harness;
+    harness.compute_ms = 120;
+    harness.start();
+    FakeCoordinator coordinator{harness.coordinator_fd};
+
+    harness.hello(coordinator, /*heartbeat_ms=*/30);  // hb interval 10 ms
+    ASSERT_TRUE(coordinator.next());                  // ready
+    harness.lease(coordinator, 0);
+    const auto msg = coordinator.next_non_heartbeat();
+    ASSERT_TRUE(msg);
+    EXPECT_EQ(msg->kind, Message::Kind::Result);
+    EXPECT_GE(coordinator.heartbeats(), 1);  // 120 ms compute at 10 ms cadence
+
+    coordinator.send(format_shutdown());
+    harness.join();
+    EXPECT_EQ(harness.exit_code, kWorkerExitOk);
+}
+
+TEST(Worker, SuppressedHeartbeatsStillDeliverTheResult) {
+    // The net_hb_loss seam: the worker computes silently, which makes the
+    // coordinator expire its lease — but the late result must still be
+    // well-formed (the dedup path's input).
+    WorkerHarness harness;
+    harness.compute_ms = 120;
+    WorkerSeams seams;
+    seams.suppress_heartbeats = [](int) { return true; };
+    harness.start(seams);
+    FakeCoordinator coordinator{harness.coordinator_fd};
+
+    harness.hello(coordinator, /*heartbeat_ms=*/30);
+    ASSERT_TRUE(coordinator.next());  // ready
+    harness.lease(coordinator, 3);
+    const auto msg = coordinator.next_non_heartbeat();
+    ASSERT_TRUE(msg);
+    EXPECT_EQ(msg->kind, Message::Kind::Result);
+    EXPECT_EQ(msg->unit, 3);
+    EXPECT_EQ(coordinator.heartbeats(), 0);
+
+    coordinator.send(format_shutdown());
+    harness.join();
+    EXPECT_EQ(harness.exit_code, kWorkerExitOk);
+}
+
+TEST(Worker, ConnectionDropSeamSeversBeforeTheResult) {
+    WorkerHarness harness;
+    WorkerSeams seams;
+    seams.drop_connection = [](int unit) { return unit == 0; };
+    harness.start(seams);
+    FakeCoordinator coordinator{harness.coordinator_fd};
+
+    harness.hello(coordinator);
+    ASSERT_TRUE(coordinator.next());  // ready
+    harness.lease(coordinator, 0);
+    EXPECT_FALSE(coordinator.next_non_heartbeat());  // EOF, no result frame
+    harness.join();
+    EXPECT_EQ(harness.exit_code, kWorkerExitInjected);
+}
+
+TEST(Worker, TruncatedResultSeamProducesDetectableTornFrame) {
+    WorkerHarness harness;
+    WorkerSeams seams;
+    seams.truncate_result = [](int unit) { return unit == 0; };
+    harness.start(seams);
+    FakeCoordinator coordinator{harness.coordinator_fd};
+
+    harness.hello(coordinator);
+    ASSERT_TRUE(coordinator.next());  // ready
+    harness.lease(coordinator, 0);
+    // The torn frame parses as a hard ProtocolError — the coordinator
+    // must never consume a prefix of the result as if it were complete.
+    EXPECT_THROW((void)coordinator.next_non_heartbeat(), ProtocolError);
+    harness.join();
+    EXPECT_EQ(harness.exit_code, kWorkerExitInjected);
+}
+
+}  // namespace
+}  // namespace smn::net
