@@ -1,0 +1,23 @@
+# Lint.cmake — the `lint` convenience target and compile-commands export.
+#
+# `cmake --build build --target lint` runs the whole static-analysis
+# gate (tools/lint/smn_lint.py: layering, determinism, header
+# self-sufficiency, scripts, and clang-tidy-vs-baseline when clang-tidy
+# is installed) against this build tree's compile_commands.json. The
+# same invocation runs in the CI `lint` job with --require-tidy; see
+# docs/static_analysis.md.
+
+# clang-tidy and the header pass both want the exact per-TU flags.
+set(CMAKE_EXPORT_COMPILE_COMMANDS ON)
+
+find_package(Python3 COMPONENTS Interpreter)
+if(Python3_FOUND)
+  add_custom_target(lint
+    COMMAND Python3::Interpreter ${PROJECT_SOURCE_DIR}/tools/lint/smn_lint.py
+            --root ${PROJECT_SOURCE_DIR} --build-dir ${CMAKE_BINARY_DIR}
+    WORKING_DIRECTORY ${PROJECT_SOURCE_DIR}
+    COMMENT "smn-lint: layering + determinism + headers + scripts + clang-tidy baseline"
+    VERBATIM USES_TERMINAL)
+else()
+  message(STATUS "smn: python3 not found; `lint` target not available")
+endif()

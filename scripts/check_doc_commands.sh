@@ -24,7 +24,7 @@ shift || true
 docs=("$@")
 if [ "${#docs[@]}" -eq 0 ]; then
     docs=(README.md docs/architecture.md docs/experiments.md docs/performance.md
-          docs/observability.md docs/robustness.md)
+          docs/observability.md docs/robustness.md docs/static_analysis.md)
 fi
 
 if [ ! -x "${build_dir}/smn_lab" ]; then
@@ -104,6 +104,14 @@ for doc in "${docs[@]}"; do
                     run="${run} -N"
                 fi
                 eval "run_cmd=( ${run} )"
+                ;;
+            # The static-analysis gate (docs/static_analysis.md). Re-rooted
+            # at the given build dir; restricted to the cheap passes here —
+            # the full gate (headers + clang-tidy) has its own CI job and
+            # CTest entry, this leg only validates the documented CLI.
+            tools/lint/smn_lint.py\ *)
+                run="${cmd//--build-dir build/--build-dir ${build_dir}}"
+                eval "run_cmd=( python3 ${run} --passes layering,determinism,scripts )"
                 ;;
             *)
                 continue

@@ -216,6 +216,7 @@ void BroadcastProcess::trace_step() {
 
 void BroadcastProcess::step() {
     ++t_;
+    // smn-lint: allow(wall-clock) timing-only telemetry, gated behind timing_
     using clock = std::chrono::steady_clock;
     const auto stamp = [this] { return timing_ ? clock::now() : clock::time_point{}; };
     const auto t0 = stamp();
@@ -277,6 +278,7 @@ void BroadcastProcess::refresh_components() {
     // Deferred steps walked without index maintenance: re-index from
     // scratch, which also recomputes the partition. Accounted under the
     // rebuild phase so phase_timings() subtraction stays consistent.
+    // smn-lint: allow(wall-clock) timing-only telemetry, gated behind timing_
     using clock = std::chrono::steady_clock;
     const auto t0 = timing_ ? clock::now() : clock::time_point{};
     builder_.build(agents_.positions(), dsu_);

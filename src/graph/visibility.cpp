@@ -114,6 +114,7 @@ void VisibilityGraphBuilder::component_pass(std::span<const grid::Point> positio
     ++seq_;
     ++stats_.passes;
     stats_.dirty_buckets += static_cast<std::int64_t>(buckets_.dirty_buckets().size());
+    // smn-lint: allow(wall-clock) timing-only telemetry, gated behind timing_
     using clock = std::chrono::steady_clock;
     const auto prep_begin = timing_ ? clock::now() : clock::time_point{};
     // Bypass heuristic: once half the occupied buckets are dirty, taint

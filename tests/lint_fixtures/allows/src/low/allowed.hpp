@@ -1,0 +1,18 @@
+// Fixture: a justified allow must suppress exactly the one line it
+// covers; the second use further down must still be reported.
+#pragma once
+
+#include <unordered_map>
+
+namespace low {
+
+// smn-lint: allow(unordered-container) fixture: justified single-site use
+inline std::unordered_map<int, int> covered() {
+    return {};
+}
+
+inline std::unordered_map<int, int> uncovered() {
+    return {};
+}
+
+}  // namespace low

@@ -1,0 +1,14 @@
+// Fixture: an allow without a written justification is rejected, and
+// the finding it targeted stays unsuppressed.
+#pragma once
+
+#include <unordered_set>
+
+namespace low {
+
+// smn-lint: allow(unordered-container)
+inline std::unordered_set<int> bare() {
+    return {};
+}
+
+}  // namespace low

@@ -1,0 +1,11 @@
+// Fixture: a stale allow (suppresses nothing) must itself be an error.
+#pragma once
+
+namespace low {
+
+// smn-lint: allow(unordered-container) fixture: nothing to suppress here
+inline int nothing() {
+    return 0;
+}
+
+}  // namespace low

@@ -1,0 +1,13 @@
+// Fixture: first justified allow (within budget on its own).
+#pragma once
+
+#include <unordered_map>
+
+namespace low {
+
+// smn-lint: allow(unordered-container) fixture: budget probe site one
+inline std::unordered_map<int, int> first() {
+    return {};
+}
+
+}  // namespace low

@@ -1,0 +1,13 @@
+// Fixture: second justified allow — pushes the total over the budget.
+#pragma once
+
+#include <unordered_map>
+
+namespace low {
+
+// smn-lint: allow(unordered-container) fixture: budget probe site two
+inline std::unordered_map<int, int> second() {
+    return {};
+}
+
+}  // namespace low

@@ -1,0 +1,12 @@
+// Fixture: a legal downward include (high -> low is an allowed edge).
+#pragma once
+
+#include "low/base.hpp"
+
+namespace high {
+
+inline std::int32_t doubled() {
+    return 2 * low::answer();
+}
+
+}  // namespace high

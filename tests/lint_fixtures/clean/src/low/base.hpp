@@ -1,0 +1,12 @@
+// Fixture: a well-behaved leaf header.
+#pragma once
+
+#include <cstdint>
+
+namespace low {
+
+inline std::int32_t answer() {
+    return 42;
+}
+
+}  // namespace low

@@ -1,0 +1,10 @@
+// Fixture: placeholder so the tidy fixture root has a src/ tree.
+#pragma once
+
+namespace low {
+
+inline int placeholder() {
+    return 0;
+}
+
+}  // namespace low

@@ -1,0 +1,10 @@
+// Fixture: the upper-layer header the layering violation points at.
+#pragma once
+
+namespace high {
+
+inline int upper() {
+    return 1;
+}
+
+}  // namespace high

@@ -1,0 +1,12 @@
+// Fixture: planted layering violation — 'low' may not include 'high'.
+#pragma once
+
+#include "high/x.hpp"
+
+namespace low {
+
+inline int upward() {
+    return high::upper();
+}
+
+}  // namespace low

@@ -1,0 +1,12 @@
+// Fixture: planted wall-clock violation in a deterministic module.
+#pragma once
+
+#include <chrono>
+
+namespace low {
+
+inline auto stamp() {
+    return std::chrono::steady_clock::now();
+}
+
+}  // namespace low

@@ -1,0 +1,13 @@
+// Fixture: planted float-accumulate violation (unordered reduction).
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+namespace low {
+
+inline double total(const std::vector<double>& xs) {
+    return std::reduce(xs.begin(), xs.end());
+}
+
+}  // namespace low

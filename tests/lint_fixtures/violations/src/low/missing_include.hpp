@@ -1,0 +1,12 @@
+// Fixture: planted header-self-sufficiency violation — uses std::string
+// without including <string>, so it only compiles behind a TU that
+// already pulled the include in.
+#pragma once
+
+namespace low {
+
+inline std::string greeting() {
+    return "hi";
+}
+
+}  // namespace low

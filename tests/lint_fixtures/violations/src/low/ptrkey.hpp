@@ -1,0 +1,12 @@
+// Fixture: planted pointer-keyed violation (map keyed by address).
+#pragma once
+
+#include <map>
+
+namespace low {
+
+inline std::map<int*, int> by_address() {
+    return {};
+}
+
+}  // namespace low

@@ -1,0 +1,17 @@
+// Fixture: planted raw-rand violations (rand() call, random_device).
+#pragma once
+
+#include <cstdlib>
+#include <random>
+
+namespace low {
+
+inline int draw() {
+    return std::rand();
+}
+
+inline unsigned entropy() {
+    return std::random_device{}();
+}
+
+}  // namespace low

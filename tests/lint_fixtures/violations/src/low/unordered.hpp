@@ -1,0 +1,12 @@
+// Fixture: planted unordered-container violation.
+#pragma once
+
+#include <unordered_map>
+
+namespace low {
+
+inline std::unordered_map<int, int> table() {
+    return {};
+}
+
+}  // namespace low
